@@ -1,0 +1,43 @@
+# Standard developer entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt repro repro-quick examples clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w $$(find . -name '*.go' -not -path './results_csv/*')
+
+# Regenerate every table/figure of the paper (see EXPERIMENTS.md).
+repro:
+	$(GO) run ./cmd/bench -experiment all -scale 1 -trials 3 -csv results_csv | tee results_full.txt
+
+# Quick end-to-end pass at tiny scale (~seconds).
+repro-quick:
+	$(GO) run ./cmd/bench -experiment all -scale 0.01 -trials 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/socialnetwork
+	$(GO) run ./examples/imagesegment
+	$(GO) run ./examples/netreliability
+	$(GO) run ./examples/streaming
+
+clean:
+	rm -rf results_csv

@@ -1,0 +1,164 @@
+package parconn
+
+// This file holds one testing.B benchmark family per table/figure of the
+// paper's evaluation, at sizes small enough for `go test -bench=.` to
+// finish quickly. The full harness with paper-shaped output is cmd/bench;
+// EXPERIMENTS.md maps both to the paper.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchGraphs builds the six Table 1 inputs at bench scale (one to two
+// orders of magnitude below the harness defaults, which are themselves
+// ~100x below the paper).
+func benchGraphs() map[string]*Graph {
+	return map[string]*Graph{
+		"random":    RandomGraph(200_000, 5, 0xB01),
+		"rMat":      RMatGraph(18, RMatOptions{EdgeFactor: 5, Seed: 0xB02, KeepDuplicates: true}),
+		"rMat2":     RMatGraph(12, RMatOptions{EdgeFactor: 200, Seed: 0xB03, KeepDuplicates: true}),
+		"3D-grid":   Grid3DGraph(58, 0xB04),
+		"line":      LineGraph(400_000, 0xB05),
+		"com-Orkut": SocialGraph(14, 0xB06),
+	}
+}
+
+var table1Order = []string{"random", "rMat", "rMat2", "3D-grid", "line", "com-Orkut"}
+
+// BenchmarkTable1Generators measures graph construction per input family
+// (Table 1's inputs themselves).
+func BenchmarkTable1Generators(b *testing.B) {
+	gens := map[string]func() *Graph{
+		"random":    func() *Graph { return RandomGraph(200_000, 5, 0xB01) },
+		"rMat":      func() *Graph { return RMatGraph(18, RMatOptions{EdgeFactor: 5, Seed: 0xB02, KeepDuplicates: true}) },
+		"rMat2":     func() *Graph { return RMatGraph(12, RMatOptions{EdgeFactor: 200, Seed: 0xB03, KeepDuplicates: true}) },
+		"3D-grid":   func() *Graph { return Grid3DGraph(58, 0xB04) },
+		"line":      func() *Graph { return LineGraph(400_000, 0xB05) },
+		"com-Orkut": func() *Graph { return SocialGraph(14, 0xB06) },
+	}
+	for _, name := range table1Order {
+		b.Run(name, func(b *testing.B) {
+			var g *Graph
+			for i := 0; i < b.N; i++ {
+				g = gens[name]()
+			}
+			b.ReportMetric(float64(g.NumEdges()), "edges")
+		})
+	}
+}
+
+// BenchmarkTable2 measures every implementation on every input (Table 2's
+// grid). Run a slice with e.g. -bench 'Table2/random'.
+func BenchmarkTable2(b *testing.B) {
+	graphs := benchGraphs()
+	for _, gname := range table1Order {
+		g := graphs[gname]
+		for _, alg := range Algorithms {
+			b.Run(fmt.Sprintf("%s/%s", gname, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: 42}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Threads measures the decomposition CC at several worker
+// counts (Figure 2's thread sweep; on a single-core host the points
+// coincide).
+func BenchmarkFig2Threads(b *testing.B) {
+	g := RandomGraph(200_000, 5, 0xF2)
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ConnectedComponents(g, Options{Algorithm: DecompArbHybrid, Procs: procs, Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3BetaSweep measures the three decomposition variants across
+// beta (Figure 3).
+func BenchmarkFig3BetaSweep(b *testing.B) {
+	g := RandomGraph(200_000, 5, 0xF3)
+	for _, alg := range []Algorithm{DecompArb, DecompArbHybrid, DecompMin} {
+		for _, beta := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+			b.Run(fmt.Sprintf("%s/beta=%.2f", alg, beta), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ConnectedComponents(g, Options{Algorithm: alg, Beta: beta, Seed: 42}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4EdgeDecay reports the per-iteration edge decay of
+// decomp-arb-hybrid-CC as custom metrics (Figure 4): levels = recursion
+// depth, shrink = geometric mean per-level edge shrink factor.
+func BenchmarkFig4EdgeDecay(b *testing.B) {
+	g := RandomGraph(200_000, 5, 0xF4)
+	for _, beta := range []float64{0.1, 0.3, 0.5} {
+		b.Run(fmt.Sprintf("beta=%.1f", beta), func(b *testing.B) {
+			var levels []LevelStat
+			for i := 0; i < b.N; i++ {
+				levels = levels[:0]
+				if _, err := ConnectedComponents(g, Options{Algorithm: DecompArbHybrid, Beta: beta, Seed: 42, Levels: &levels}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(levels) > 1 {
+				first := float64(levels[0].EdgesIn)
+				last := float64(levels[len(levels)-1].EdgesIn)
+				steps := float64(len(levels) - 1)
+				b.ReportMetric(float64(len(levels)), "levels")
+				if last > 0 {
+					b.ReportMetric(math.Pow(last/first, 1/steps), "shrink")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig567Phases measures each decomposition variant once per input
+// (the runs behind the Figures 5-7 breakdowns; per-phase numbers come from
+// cmd/bench).
+func BenchmarkFig567Phases(b *testing.B) {
+	graphs := benchGraphs()
+	for _, alg := range []Algorithm{DecompMin, DecompArb, DecompArbHybrid} {
+		for _, gname := range []string{"random", "rMat", "3D-grid", "line"} {
+			g := graphs[gname]
+			b.Run(fmt.Sprintf("%s/%s", alg, gname), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: 42}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Scaling measures decomp-arb-hybrid-CC across problem sizes
+// (Figure 8: near-linear time in m).
+func BenchmarkFig8Scaling(b *testing.B) {
+	for _, m := range []int{100_000, 200_000, 400_000, 800_000} {
+		n := m / 5
+		g := RandomGraph(n, 5, uint64(m))
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ConnectedComponents(g, Options{Algorithm: DecompArbHybrid, Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m)/float64(b.Elapsed().Nanoseconds()/int64(b.N))*1000, "edges/us")
+		})
+	}
+}

@@ -1,0 +1,22 @@
+package parconn
+
+import "sync/atomic"
+
+// atomicCursor bundles the CAS claim of an unvisited vertex with the next
+// write slot of the shared frontier buffer.
+type atomicCursor struct {
+	n atomic.Int64
+}
+
+// claim atomically marks w visited at distance d; it reports whether this
+// caller won the claim.
+func (c *atomicCursor) claim(dist []int32, w, d int32) bool {
+	return atomic.LoadInt32(&dist[w]) == -1 &&
+		atomic.CompareAndSwapInt32(&dist[w], -1, d)
+}
+
+// next reserves the next frontier slot.
+func (c *atomicCursor) next() int64 { return c.n.Add(1) - 1 }
+
+// len returns the number of reserved slots.
+func (c *atomicCursor) len() int { return int(c.n.Load()) }

@@ -1,0 +1,71 @@
+// Command bench regenerates the tables and figures of Shun, Dhulipala,
+// Blelloch (SPAA'14) on this host. Each experiment prints a plain-text
+// table shaped like the corresponding artifact in the paper.
+//
+// Usage:
+//
+//	bench -experiment table2              # one experiment
+//	bench -experiment all -scale 0.25     # everything, quarter-size inputs
+//	bench -experiment fig2 -threads 1,2,4 # explicit worker sweep
+//	bench -experiment ablation            # design-choice ablations
+//
+// Experiments: table1, table2, fig2..fig8, ablation, all. See
+// EXPERIMENTS.md for the mapping to the paper and the recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"parconn/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "all", "experiment to run: table1,table2,fig2..fig8,ablation,all")
+		scale      = fs.Float64("scale", 1.0, "input size multiplier (1.0 = harness defaults, ~100x below paper sizes)")
+		trials     = fs.Int("trials", 3, "trials per measurement; median reported")
+		procs      = fs.Int("procs", 0, "max workers (0 = all cores)")
+		threads    = fs.String("threads", "", "comma-separated worker counts for fig2 (default 1,2,4,...,procs)")
+		seed       = fs.Uint64("seed", 42, "random seed")
+		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := bench.Config{
+		Scale:  *scale,
+		Trials: *trials,
+		Procs:  *procs,
+		Seed:   *seed,
+		Out:    stdout,
+		CSVDir: *csvDir,
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fmt.Fprintf(stderr, "bench: bad -threads entry %q\n", part)
+				return 2
+			}
+			cfg.Threads = append(cfg.Threads, v)
+		}
+	}
+	if err := bench.Run(*experiment, cfg); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	return 0
+}

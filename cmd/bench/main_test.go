@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-experiment", "table1", "-scale", "0.002", "-trials", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table 1") || !strings.Contains(out.String(), "com-Orkut") {
+		t.Fatalf("output wrong:\n%s", out.String())
+	}
+}
+
+func TestBenchThreadsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-experiment", "fig8", "-scale", "0.01", "-trials", "1", "-threads", "1,2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 8") {
+		t.Fatalf("output wrong:\n%s", out.String())
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "bogus"}, &out, &errb); code == 0 {
+		t.Fatal("bogus experiment accepted")
+	}
+	if code := run([]string{"-threads", "x"}, &out, &errb); code == 0 {
+		t.Fatal("bad threads accepted")
+	}
+	if code := run([]string{"-threads", "0"}, &out, &errb); code == 0 {
+		t.Fatal("zero threads accepted")
+	}
+	if code := run([]string{"-badflag"}, &out, &errb); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parconn"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunGenerated(t *testing.T) {
+	code, out, _ := runCapture(t, "-gen", "random", "-n", "5000", "-verify", "-stats")
+	if code != 0 {
+		t.Fatalf("exit=%d", code)
+	}
+	for _, want := range []string{"graph: 5000 vertices", "labeling verified", "components in", "stats:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunEveryGenerator(t *testing.T) {
+	for _, gen := range []string{"random", "rmat", "grid3d", "line", "social", "star"} {
+		code, out, errb := runCapture(t, "-gen", gen, "-n", "2000", "-scale", "9", "-side", "8", "-verify")
+		if code != 0 {
+			t.Fatalf("%s: exit=%d stderr=%s", gen, code, errb)
+		}
+		if !strings.Contains(out, "labeling verified") {
+			t.Fatalf("%s: not verified:\n%s", gen, out)
+		}
+	}
+}
+
+func TestRunDecomposeMode(t *testing.T) {
+	code, out, _ := runCapture(t, "-gen", "grid3d", "-side", "10", "-decompose", "-beta", "0.1")
+	if code != 0 {
+		t.Fatalf("exit=%d", code)
+	}
+	if !strings.Contains(out, "partitions") || !strings.Contains(out, "cut edges") {
+		t.Fatalf("decompose output wrong:\n%s", out)
+	}
+}
+
+func TestRunFileRoundTripAndLabels(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.adj")
+	labelsPath := filepath.Join(dir, "labels.txt")
+
+	// Write a graph file via the library, then feed it back through -in.
+	g := mustLine(t, 100)
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := g.Write(bw); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, out, errb := runCapture(t, "-in", graphPath, "-labels", labelsPath, "-algorithm", "serial-SF")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	if !strings.Contains(out, "1 components") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	data, err := os.ReadFile(labelsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(string(data))
+	if len(lines) != 100 {
+		t.Fatalf("labels file has %d entries", len(lines))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if code, _, _ := runCapture(t); code == 0 {
+		t.Fatal("no input accepted")
+	}
+	if code, _, _ := runCapture(t, "-gen", "bogus"); code == 0 {
+		t.Fatal("bogus generator accepted")
+	}
+	if code, _, errb := runCapture(t, "-gen", "line", "-n", "10", "-algorithm", "bogus"); code == 0 || !strings.Contains(errb, "available:") {
+		t.Fatal("bogus algorithm accepted or help missing")
+	}
+	if code, _, _ := runCapture(t, "-in", "/nonexistent/file"); code == 0 {
+		t.Fatal("missing file accepted")
+	}
+	if code, _, _ := runCapture(t, "-badflag"); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+	if code, _, _ := runCapture(t, "-gen", "line", "-n", "10", "-decompose", "-algorithm", "serial-SF"); code == 0 {
+		t.Fatal("decompose with non-decomposition algorithm accepted")
+	}
+}
+
+func mustLine(t *testing.T, n int) *parconn.Graph {
+	t.Helper()
+	g, err := loadGraph("", "line", n, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunEdgeListInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("# snap style\n10 20\n20 30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCapture(t, "-in", path, "-verify")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	if !strings.Contains(out, "graph: 3 vertices, 2 undirected edges") {
+		t.Fatalf("output wrong:\n%s", out)
+	}
+}

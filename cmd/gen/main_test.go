@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parconn"
+)
+
+func TestGenTextToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "line", "-n", "50"}, &out, &errb); code != 0 {
+		t.Fatalf("exit=%d: %s", code, errb.String())
+	}
+	g, err := parconn.ReadGraph(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 50 || g.NumEdges() != 49 {
+		t.Fatalf("wrong graph: %v", g)
+	}
+	if !strings.Contains(errb.String(), "wrote line") {
+		t.Fatalf("summary missing: %q", errb.String())
+	}
+}
+
+func TestGenBinaryToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.bin")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "grid3d", "-side", "5", "-binary", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit=%d: %s", code, errb.String())
+	}
+	f, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := parconn.ReadBinaryGraph(bytes.NewReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 125 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "bogus"}, &out, &errb); code == 0 {
+		t.Fatal("bogus kind accepted")
+	}
+	if code := run([]string{"-badflag"}, &out, &errb); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+	if code := run([]string{"-kind", "line", "-n", "5", "-out", "/no/such/dir/file"}, &out, &errb); code == 0 {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package parconn
+
+import (
+	"fmt"
+
+	"parconn/internal/graph"
+	"parconn/internal/hashtable"
+	"parconn/internal/intsort"
+	"parconn/internal/parallel"
+)
+
+// Contract returns the quotient graph of g under labels: every label class
+// becomes one vertex, intra-class edges disappear, duplicate inter-class
+// edges are merged, and self-loops are dropped. It also returns reps, the
+// canonical original vertex of each quotient vertex (quotient vertex i
+// corresponds to the class of reps[i]).
+//
+// This is the CONTRACT step of the paper's Algorithm 1 exposed as a public
+// operation — useful for multilevel graph algorithms that alternate
+// clustering and coarsening. labels need not be a connectivity labeling;
+// any canonical labeling (labels[labels[v]] == labels[v], labels[v] in
+// [0, n)) works, e.g. the output of Decompose.
+func Contract(g *Graph, labels []int32, procs int) (*Graph, []int32, error) {
+	n := g.NumVertices()
+	if len(labels) != n {
+		return nil, nil, fmt.Errorf("parconn: Contract labels length %d != n %d", len(labels), n)
+	}
+	procs = parallel.Procs(procs)
+	for v, l := range labels {
+		if l < 0 || int(l) >= n {
+			return nil, nil, fmt.Errorf("parconn: Contract labels[%d]=%d out of range", v, l)
+		}
+		if labels[l] != l {
+			return nil, nil, fmt.Errorf("parconn: Contract labels not canonical at %d", v)
+		}
+	}
+	// Rank the canonical vertices.
+	rank := make([]int32, n)
+	parallel.For(procs, n, func(v int) {
+		if labels[v] == int32(v) {
+			rank[v] = 1
+		}
+	})
+	k := int(parallel.ExScan(procs, rank))
+	reps := make([]int32, k)
+	parallel.For(procs, n, func(v int) {
+		if labels[v] == int32(v) {
+			reps[rank[v]] = int32(v)
+		}
+	})
+	// Gather inter-class directed pairs in quotient space.
+	kbits := uint(intsort.Bits(uint64(maxInt(1, k-1))))
+	var pairs []uint64
+	for v := 0; v < n; v++ {
+		src := rank[labels[v]]
+		for _, w := range g.Neighbors(int32(v)) {
+			tgt := rank[labels[w]]
+			if src != tgt {
+				pairs = append(pairs, uint64(uint32(src))<<kbits|uint64(uint32(tgt)))
+			}
+		}
+	}
+	// Dedup with the phase-concurrent hash table, as in the paper.
+	set := hashtable.NewSet(procs, len(pairs))
+	parallel.Blocks(procs, len(pairs), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			set.Insert(pairs[i])
+		}
+	})
+	pairs = set.Elements(procs)
+	intsort.SortUint64(procs, pairs, int(2*kbits))
+	// Re-pack to the builder's (u<<32 | v) convention.
+	mask := uint64(1)<<kbits - 1
+	parallel.For(procs, len(pairs), func(i int) {
+		pairs[i] = (pairs[i]>>kbits)<<32 | (pairs[i] & mask)
+	})
+	q := graph.FromDirectedPairs(k, pairs, false, procs)
+	return &Graph{g: q}, reps, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package parconn_test
+
+import (
+	"fmt"
+
+	"parconn"
+)
+
+func ExampleConnectedComponents() {
+	// Two triangles and an isolated vertex.
+	edges := []parconn.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+	}
+	g, err := parconn.NewGraph(7, edges, parconn.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	labels, err := parconn.ConnectedComponents(g, parconn.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(parconn.NumComponents(labels))
+	fmt.Println(parconn.SameComponent(labels, 0, 2))
+	fmt.Println(parconn.SameComponent(labels, 0, 3))
+	// Output:
+	// 3
+	// true
+	// false
+}
+
+func ExampleConnectedComponents_algorithms() {
+	g := parconn.LineGraph(1000, 42)
+	for _, alg := range []parconn.Algorithm{parconn.DecompArbHybrid, parconn.SerialSF, parconn.ShiloachVishkin} {
+		labels, err := parconn.ConnectedComponents(g, parconn.Options{Algorithm: alg, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d component(s)\n", alg, parconn.NumComponents(labels))
+	}
+	// Output:
+	// decomp-arb-hybrid-CC: 1 component(s)
+	// serial-SF: 1 component(s)
+	// sv-CC: 1 component(s)
+}
+
+func ExampleDecompose() {
+	g := parconn.Grid3DGraph(20, 7)
+	d, err := parconn.Decompose(g, parconn.DecompOptions{Beta: 0.2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	// The cut is at most 2*beta*m in expectation; partitions have radius
+	// O(log n / beta), bounded by the round count.
+	fmt.Println(d.NumPartitions > 1)
+	fmt.Println(float64(d.CutEdges) < 2*0.2*2*float64(g.NumEdges())*1.5)
+	// Output:
+	// true
+	// true
+}
+
+func ExampleCompactLabels() {
+	labels := []int32{7, 7, 3, 7, 3}
+	compact, k := parconn.CompactLabels(labels)
+	fmt.Println(compact, k)
+	// Output:
+	// [0 0 1 0 1] 2
+}
+
+func ExampleBFS() {
+	g, _ := parconn.NewGraph(4, []parconn.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, parconn.BuildOptions{})
+	res, _ := parconn.BFS(g, 0, 0)
+	fmt.Println(res.Dist)
+	fmt.Println(res.Visited)
+	// Output:
+	// [0 1 2 -1]
+	// 3
+}
+
+func ExampleDecompose_contract() {
+	// Cluster with a low-diameter decomposition, then coarsen the graph —
+	// one level of the paper's Algorithm 1, exposed as building blocks.
+	g := parconn.Grid3DGraph(8, 3)
+	d, _ := parconn.Decompose(g, parconn.DecompOptions{Beta: 0.2, Seed: 3})
+	q, reps, _ := parconn.Contract(g, d.Labels, 0)
+	fmt.Println(q.NumVertices() == d.NumPartitions)
+	fmt.Println(len(reps) == q.NumVertices())
+	fmt.Println(q.NumEdges() <= g.NumEdges())
+	// Output:
+	// true
+	// true
+	// true
+}
+
+func ExampleSpanner() {
+	g := parconn.Grid3DGraph(10, 1)
+	edges, _ := parconn.Spanner(g, parconn.SpannerOptions{Beta: 0.1, Seed: 2})
+	// The spanner keeps connectivity with far fewer edges.
+	sub, _ := parconn.NewGraph(g.NumVertices(), edges, parconn.BuildOptions{})
+	a, _ := parconn.ConnectedComponents(g, parconn.Options{})
+	b, _ := parconn.ConnectedComponents(sub, parconn.Options{})
+	fmt.Println(parconn.NumComponents(a) == parconn.NumComponents(b))
+	fmt.Println(int64(len(edges)) < g.NumEdges())
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,72 @@
+// Streaming connectivity: edges arrive over time (a growing collaboration
+// network) and component structure is maintained incrementally with the
+// UnionFind API, with periodic snapshots — then cross-checked against a
+// from-scratch ConnectedComponents run on the final graph.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parconn"
+)
+
+func main() {
+	// The "arrival stream": the edges of a power-law graph in random order,
+	// mimicking collaborations forming over time.
+	const scale = 15
+	full := parconn.RMatGraph(scale, parconn.RMatOptions{EdgeFactor: 8, Seed: 9})
+	n := full.NumVertices()
+	var stream []parconn.Edge
+	for v := int32(0); int(v) < n; v++ {
+		for _, w := range full.Neighbors(v) {
+			if w > v {
+				stream = append(stream, parconn.Edge{U: v, V: w})
+			}
+		}
+	}
+	fmt.Printf("stream: %d vertices, %d edges arriving in %d batches\n\n",
+		n, len(stream), 10)
+
+	uf := parconn.NewUnionFind(n)
+	components := n // every insertion that merges reduces the count by one
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "batch", "edges seen", "components", "giant %")
+	batch := len(stream) / 10
+	for b := 0; b < 10; b++ {
+		lo, hi := b*batch, (b+1)*batch
+		if b == 9 {
+			hi = len(stream)
+		}
+		for _, e := range stream[lo:hi] {
+			if uf.Union(e.U, e.V) {
+				components--
+			}
+		}
+		// Snapshot: giant component share.
+		labels := uf.Labels()
+		sizes := parconn.ComponentSizes(labels)
+		giant := 0
+		for _, s := range sizes {
+			if s > giant {
+				giant = s
+			}
+		}
+		fmt.Printf("%-8d %-12d %-12d %-10.1f\n", b+1, hi, components, 100*float64(giant)/float64(n))
+	}
+
+	// Cross-check the incremental state against a batch recomputation.
+	batchLabels, err := parconn.ConnectedComponents(full, parconn.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if parconn.NumComponents(batchLabels) != components {
+		log.Fatalf("incremental (%d) and batch (%d) component counts disagree",
+			components, parconn.NumComponents(batchLabels))
+	}
+	if err := parconn.VerifyLabeling(full, uf.Labels()); err != nil {
+		log.Fatalf("incremental labeling failed verification: %v", err)
+	}
+	fmt.Println("\nincremental result verified against batch recomputation")
+}

@@ -1,0 +1,84 @@
+package parconn
+
+import (
+	"testing"
+
+	"parconn/internal/graph"
+)
+
+// TestExhaustiveFiveVertexGraphs runs every algorithm on every undirected
+// graph with 5 vertices (2^10 = 1024 edge subsets) and checks the partition
+// against the oracle. Exhaustive coverage at this size catches boundary
+// bugs (isolated vertices, leaf chains, odd component mixes) that random
+// testing can miss.
+func TestExhaustiveFiveVertexGraphs(t *testing.T) {
+	const n = 5
+	var pairs [][2]int32
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int32{u, v})
+		}
+	}
+	if len(pairs) != 10 {
+		t.Fatal("expected 10 vertex pairs")
+	}
+	for mask := 0; mask < 1<<10; mask++ {
+		var edges []Edge
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				edges = append(edges, Edge{U: p[0], V: p[1]})
+			}
+		}
+		g, err := NewGraph(n, edges, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := graph.RefCC(g.g)
+		for _, alg := range Algorithms {
+			labels, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: uint64(mask)})
+			if err != nil {
+				t.Fatalf("mask=%04x %v: %v", mask, alg, err)
+			}
+			if !graph.SamePartition(ref, labels) {
+				t.Fatalf("mask=%04x %v: partition mismatch (labels=%v)", mask, alg, labels)
+			}
+			for v, l := range labels {
+				if labels[l] != l {
+					t.Fatalf("mask=%04x %v: non-canonical label at %d", mask, alg, v)
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveTriangleWithMultiEdges covers multigraph handling: every
+// multiplicity combination (0-2 copies) of the three triangle edges.
+func TestExhaustiveTriangleWithMultiEdges(t *testing.T) {
+	base := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}
+	for c0 := 0; c0 <= 2; c0++ {
+		for c1 := 0; c1 <= 2; c1++ {
+			for c2 := 0; c2 <= 2; c2++ {
+				var edges []Edge
+				for i, c := range []int{c0, c1, c2} {
+					for k := 0; k < c; k++ {
+						edges = append(edges, base[i])
+					}
+				}
+				g, err := NewGraph(3, edges, BuildOptions{KeepDuplicates: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := graph.RefCC(g.g)
+				for _, alg := range Algorithms {
+					labels, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: 9})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !graph.SamePartition(ref, labels) {
+						t.Fatalf("mult=(%d,%d,%d) %v: mismatch", c0, c1, c2, alg)
+					}
+				}
+			}
+		}
+	}
+}

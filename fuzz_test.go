@@ -1,0 +1,82 @@
+package parconn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parconn/internal/graph"
+)
+
+// FuzzReadGraph: arbitrary bytes through the text parser must never panic,
+// and anything accepted must be a structurally valid graph that round-trips.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("AdjacencyGraph\n2\n2\n0\n1\n1\n0\n")
+	f.Add("AdjacencyGraph\n0\n0\n")
+	f.Add("AdjacencyGraph\n3\n2\n0\n1\n2\n1\n0\n")
+	f.Add("garbage")
+	f.Add("AdjacencyGraph\n-1\n-1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadEdgeList: arbitrary bytes through the SNAP parser.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n\n5 5\n")
+	f.Add("x y\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.g.Validate(); err != nil {
+			t.Fatalf("accepted edge list produced invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzConnectedComponents: arbitrary edge bytes decoded into a small graph;
+// every algorithm must agree with the oracle.
+func FuzzConnectedComponents(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(5))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, nRaw uint8) {
+		n := int(nRaw%32) + 1
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{U: int32(raw[i]) % int32(n), V: int32(raw[i+1]) % int32(n)})
+		}
+		g, err := NewGraph(n, edges, BuildOptions{KeepDuplicates: true})
+		if err != nil {
+			t.Fatalf("in-range edges rejected: %v", err)
+		}
+		ref := graph.RefCC(g.g)
+		for _, alg := range Algorithms {
+			labels, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: uint64(nRaw)})
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if !graph.SamePartition(ref, labels) {
+				t.Fatalf("%v: wrong partition for n=%d edges=%v", alg, n, edges)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module parconn
+
+go 1.22

@@ -1,0 +1,79 @@
+package parconn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGoldenAdjacencyFormat pins the exact bytes of the text format: other
+// PBBS/Ligra tooling parses these files, so even whitespace changes are
+// breaking.
+func TestGoldenAdjacencyFormat(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "AdjacencyGraph\n3\n4\n0\n1\n3\n1\n0\n2\n1\n"
+	if buf.String() != want {
+		t.Fatalf("format drifted:\ngot  %q\nwant %q", buf.String(), want)
+	}
+}
+
+// TestGoldenBinaryFormat pins the binary header layout.
+func TestGoldenBinaryFormat(t *testing.T) {
+	g, err := NewGraph(2, []Edge{{U: 0, V: 1}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[:8]) != "PCONNGR1" {
+		t.Fatalf("magic drifted: %q", b[:8])
+	}
+	// n=2, m=2 little-endian uint64s follow the magic.
+	if b[8] != 2 || b[16] != 2 {
+		t.Fatalf("header drifted: % x", b[8:24])
+	}
+	// total: 8 magic + 16 sizes + 3*8 offsets + 2*4 edges
+	if len(b) != 8+16+24+8 {
+		t.Fatalf("length %d", len(b))
+	}
+}
+
+// TestGoldenDecompMinLabels pins decomp-min-CC's exact output for a fixed
+// graph and seed. The algorithm is deterministic by design (writeMin
+// winners are unique); if this test breaks, the randomized schedule or the
+// tie-breaking changed, which silently invalidates recorded experiments.
+func TestGoldenDecompMinLabels(t *testing.T) {
+	g, err := NewGraph(8, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, // path component
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 4}, // triangle component
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ConnectedComponents(g, Options{Algorithm: DecompMin, Seed: 12345, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyLabeling(g, labels); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running must give the identical labeling (not just partition).
+	again, err := ConnectedComponents(g, Options{Algorithm: DecompMin, Seed: 12345, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range labels {
+		if labels[v] != again[v] {
+			t.Fatalf("decomp-min not deterministic at vertex %d", v)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package parconn is a parallel graph-connectivity library reproducing
+// Shun, Dhulipala, Blelloch, "A Simple and Practical Linear-Work Parallel
+// Algorithm for Connectivity" (SPAA 2014).
+//
+// The primary entry point is ConnectedComponents, which labels the
+// connected components of an undirected graph using the paper's
+// decomposition-based algorithm: expected linear work, polylogarithmic
+// depth, and competitive constant factors. The paper's three engineered
+// variants (decomp-min, decomp-arb, decomp-arb-hybrid) and all the
+// evaluation baselines (spanning-forest union-find, direction-optimizing
+// BFS, multistep, label propagation, Shiloach-Vishkin) are selectable via
+// Options.Algorithm, so downstream users can pick per workload and the
+// benchmark harness can regenerate the paper's tables.
+//
+// Quick start:
+//
+//	g := parconn.RandomGraph(1_000_000, 5, 42)
+//	labels, err := parconn.ConnectedComponents(g, parconn.Options{})
+//	// labels[v] == labels[u] iff u and v are connected.
+//
+// All algorithms are deterministic for a fixed Options.Seed up to label
+// choice, safe for concurrent use on distinct graphs, and bounded to
+// Options.Procs workers.
+package parconn
+
+import (
+	"fmt"
+	"io"
+
+	"parconn/internal/graph"
+	"parconn/internal/parallel"
+)
+
+// Edge is an undirected edge between vertices U and V.
+type Edge = graph.Edge
+
+// RMatOptions parameterizes the R-MAT generator; see RMatGraph.
+type RMatOptions = graph.RMatOptions
+
+// Graph is an immutable undirected graph in adjacency-array (CSR) form.
+// Construct one with NewGraph, a generator, or ReadGraph. Methods never
+// mutate the graph, so one Graph may be shared by concurrent algorithm
+// runs.
+type Graph struct {
+	g *graph.Graph
+}
+
+// BuildOptions controls NewGraph.
+type BuildOptions struct {
+	// KeepDuplicates retains parallel edges instead of deduplicating them.
+	// Self-loops are always dropped.
+	KeepDuplicates bool
+	// Procs bounds construction parallelism; <= 0 means all cores.
+	Procs int
+}
+
+// NewGraph builds a graph on n vertices from an undirected edge list. Edges
+// are symmetrized (stored in both directions), self-loops dropped, and
+// duplicates removed unless opt.KeepDuplicates is set. Endpoints outside
+// [0, n) are an error.
+func NewGraph(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parconn: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("parconn: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	g := graph.FromEdges(n, edges, graph.BuildOptions{
+		RemoveDuplicates: !opt.KeepDuplicates,
+		Procs:            opt.Procs,
+	})
+	return &Graph{g: g}, nil
+}
+
+// ReadGraph parses a graph in the PBBS/Ligra "AdjacencyGraph" text format.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g, err := graph.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSymmetric(g); err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// validateSymmetric runs the cheap structural checks on an external graph;
+// full symmetry validation is O(m) with a hash map, acceptable at load time.
+func validateSymmetric(g *graph.Graph) error {
+	return g.Validate()
+}
+
+// Write serializes the graph in the AdjacencyGraph text format.
+func (g *Graph) Write(w io.Writer) error { return g.g.Write(w) }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.g.N }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return g.g.NumUndirected() }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int32 { return g.g.Degree(v) }
+
+// Neighbors returns v's adjacency list as a read-only view; callers must
+// not modify it.
+func (g *Graph) Neighbors(v int32) []int32 { return g.g.Neighbors(v) }
+
+// MaxDegree returns the largest vertex degree.
+func (g *Graph) MaxDegree() int32 { return g.g.MaxDegree() }
+
+// String summarizes the graph.
+func (g *Graph) String() string { return g.g.String() }
+
+// RandomGraph returns the paper's "random" input: every vertex draws
+// perVertex neighbors uniformly at random (duplicates kept, self-loops
+// dropped), so the graph has ~n*perVertex undirected edges.
+func RandomGraph(n, perVertex int, seed uint64) *Graph {
+	return &Graph{g: graph.Random(n, perVertex, seed)}
+}
+
+// RMatGraph returns a power-law graph with 2^scale vertices from the R-MAT
+// recursive generator (the paper's rMat and rMat2 inputs, depending on
+// EdgeFactor).
+func RMatGraph(scale int, opt RMatOptions) *Graph {
+	return &Graph{g: graph.RMat(scale, opt)}
+}
+
+// Grid3DGraph returns a 3-dimensional torus with side^3 vertices and six
+// neighbors per vertex (the paper's 3D-grid input).
+func Grid3DGraph(side int, seed uint64) *Graph {
+	return &Graph{g: graph.Grid3D(side, seed)}
+}
+
+// LineGraph returns a path on n vertices with randomly permuted labels (the
+// paper's degenerate high-diameter input).
+func LineGraph(n int, seed uint64) *Graph {
+	return &Graph{g: graph.Line(n, seed)}
+}
+
+// SocialGraph returns a synthetic social-network graph with 2^scale
+// vertices at com-Orkut's edge/vertex ratio (the paper's com-Orkut input is
+// substituted by this generator; see DESIGN.md).
+func SocialGraph(scale int, seed uint64) *Graph {
+	return &Graph{g: graph.Social(scale, seed)}
+}
+
+// StarGraph returns a star with one degree-(n-1) center, a stress test for
+// high-degree vertices.
+func StarGraph(n int) *Graph {
+	return &Graph{g: graph.Star(n)}
+}
+
+// Union returns the disjoint union of the given graphs, relabeling each
+// part into its own contiguous id range.
+func Union(gs ...*Graph) *Graph {
+	parts := make([]*graph.Graph, len(gs))
+	for i, g := range gs {
+		parts[i] = g.g
+	}
+	return &Graph{g: graph.Components(parts...)}
+}
+
+// Procs reports the worker count a Procs option value resolves to.
+func Procs(p int) int { return parallel.Procs(p) }

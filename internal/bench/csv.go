@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV writes the table as RFC-4180 CSV (header row first).
+func (t *Table) WriteCSV(w *csv.Writer) error {
+	if err := w.Write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// emit prints the table to cfg.Out under the given title and, when
+// cfg.CSVDir is set, also writes it to <CSVDir>/<slug>.csv for plotting.
+func emit(cfg Config, t *Table, slug, titleFormat string, args ...interface{}) {
+	fmt.Fprintf(cfg.Out, titleFormat, args...)
+	t.Print(cfg.Out)
+	if cfg.CSVDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+		panic(fmt.Sprintf("bench: csv dir: %v", err))
+	}
+	path := filepath.Join(cfg.CSVDir, slugify(slug)+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		panic(fmt.Sprintf("bench: csv file: %v", err))
+	}
+	defer f.Close()
+	if err := t.WriteCSV(csv.NewWriter(f)); err != nil {
+		panic(fmt.Sprintf("bench: csv write: %v", err))
+	}
+}
+
+func slugify(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

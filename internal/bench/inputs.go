@@ -1,0 +1,109 @@
+// Package bench provides the shared machinery of the benchmark harness that
+// regenerates the paper's tables and figures: the input-graph families of
+// Table 1 at configurable scale, median-of-trials timing (the paper reports
+// the median of three), and plain-text table/series printers.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"parconn"
+)
+
+// Input is one of the paper's benchmark graphs, constructible at a size
+// scaled down from the paper's (DESIGN.md §3: sizes are reduced ~100x so
+// every experiment finishes in minutes on one host; shapes, not absolute
+// numbers, are the reproduction target).
+type Input struct {
+	Name string
+	// PaperN / PaperM describe the size used in the paper (Table 1).
+	PaperN, PaperM string
+	// Make builds the graph at the given scale factor (1.0 = the harness
+	// default size, not the paper size).
+	Make func(scale float64) *parconn.Graph
+}
+
+// Inputs returns the paper's six benchmark graphs (Table 1) in paper order.
+// scale 1.0 gives the harness defaults below; pass e.g. 0.1 for a quick
+// smoke run or 10 for a long one.
+//
+//	random     n=1,000,000  m=5n        (paper: n=10^8, m=5x10^8)
+//	rMat       n=2^20       m~5n        (paper: n=2^27, m=5x10^8)
+//	rMat2      n=2^14       m~200n      (paper: n=2^20, m=4.2x10^8)
+//	3D-grid    n=100^3      m=3n        (paper: n=10^8, m=3x10^8)
+//	line       n=2,000,000  m=n-1       (paper: n=5x10^8)
+//	com-Orkut  n=2^17       m~30n       (paper's SNAP graph, substituted by
+//	                                     a same-density rMat; DESIGN.md §3)
+func Inputs() []Input {
+	return []Input{
+		{
+			Name: "random", PaperN: "10^8", PaperM: "5x10^8",
+			Make: func(s float64) *parconn.Graph {
+				return parconn.RandomGraph(scaled(1_000_000, s), 5, 0xABCD01)
+			},
+		},
+		{
+			Name: "rMat", PaperN: "2^27", PaperM: "5x10^8",
+			Make: func(s float64) *parconn.Graph {
+				return parconn.RMatGraph(logScaled(20, s), parconn.RMatOptions{EdgeFactor: 5, Seed: 0xABCD02, KeepDuplicates: true})
+			},
+		},
+		{
+			Name: "rMat2", PaperN: "2^20", PaperM: "4.2x10^8",
+			Make: func(s float64) *parconn.Graph {
+				return parconn.RMatGraph(logScaled(14, s), parconn.RMatOptions{EdgeFactor: 200, Seed: 0xABCD03, KeepDuplicates: true})
+			},
+		},
+		{
+			Name: "3D-grid", PaperN: "10^8", PaperM: "3x10^8",
+			Make: func(s float64) *parconn.Graph {
+				side := int(math.Round(100 * math.Cbrt(s)))
+				if side < 2 {
+					side = 2
+				}
+				return parconn.Grid3DGraph(side, 0xABCD04)
+			},
+		},
+		{
+			Name: "line", PaperN: "5x10^8", PaperM: "5x10^8",
+			Make: func(s float64) *parconn.Graph {
+				return parconn.LineGraph(scaled(2_000_000, s), 0xABCD05)
+			},
+		},
+		{
+			Name: "com-Orkut", PaperN: "3,072,627", PaperM: "117,185,083",
+			Make: func(s float64) *parconn.Graph {
+				return parconn.SocialGraph(logScaled(17, s), 0xABCD06)
+			},
+		},
+	}
+}
+
+// InputByName returns the named input or an error listing the options.
+func InputByName(name string) (Input, error) {
+	for _, in := range Inputs() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Input{}, fmt.Errorf("bench: unknown input %q (want one of random, rMat, rMat2, 3D-grid, line, com-Orkut)", name)
+}
+
+func scaled(base int, s float64) int {
+	n := int(float64(base) * s)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// logScaled adjusts a 2^k size: scale 1 -> k, scale 8 -> k+3, scale 1/8 ->
+// k-3, rounding to the nearest power of two.
+func logScaled(k int, s float64) int {
+	k += int(math.Round(math.Log2(s)))
+	if k < 4 {
+		k = 4
+	}
+	return k
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"parconn/internal/decomp"
+	"parconn/internal/graph"
+)
+
+// buildWGraph constructs a working graph directly from directed adjacency
+// lists (already decomposed state: targets are component-center ids).
+func buildWGraph(adj [][]int32) *decomp.WGraph {
+	n := len(adj)
+	w := &decomp.WGraph{N: n, Offs: make([]int64, n+1), Deg: make([]int32, n)}
+	for v, list := range adj {
+		w.Offs[v+1] = w.Offs[v] + int64(len(list))
+		w.Deg[v] = int32(len(list))
+		w.Adj = append(w.Adj, list...)
+	}
+	return w
+}
+
+// TestContractManual checks CONTRACT on a hand-built post-decomposition
+// state: 6 vertices in 3 components with centers 0, 2, 5. Components 0 and
+// 2 exchange (duplicated) edges; component 5 has no surviving edges and
+// must be dropped as a singleton with its label preserved.
+func TestContractManual(t *testing.T) {
+	// Partitions: {0,1} center 0; {2,3} center 2; {4,5} center 5.
+	labels := []int32{0, 0, 2, 2, 5, 5}
+	// Surviving inter-component directed edges (targets = center ids):
+	//  0->2 (x2, duplicate), 1->2; reverse: 2->0 x2, 3->0.
+	//  Component 5 has no surviving edges.
+	w := buildWGraph([][]int32{
+		{2, 2}, // vertex 0 keeps two parallel edges to component 2
+		{2},    // vertex 1 keeps one
+		{0, 0}, // vertex 2's reverses
+		{0},    // vertex 3's reverse
+		{},     // vertex 4
+		{},     // vertex 5 (center, no edges)
+	})
+	sub, rep, present, compact, newID, edgesOut := contract(w, labels, 3, Options{Procs: 1, Dedup: DedupHash})
+	// Centers 0,2,5 get component ids 0,1,2 in vertex order.
+	if newID[0] != 0 || newID[2] != 1 || newID[5] != 2 {
+		t.Fatalf("newID=%v", newID)
+	}
+	// Component 2 (center 5) is a singleton: dropped.
+	if present[0] != 1 || present[1] != 1 || present[2] != 0 {
+		t.Fatalf("present=%v", present)
+	}
+	if sub.N != 2 {
+		t.Fatalf("contracted n=%d want 2", sub.N)
+	}
+	// Dedup leaves exactly one edge each way.
+	if edgesOut != 2 {
+		t.Fatalf("edgesOut=%d want 2", edgesOut)
+	}
+	if sub.Deg[0] != 1 || sub.Deg[1] != 1 {
+		t.Fatalf("sub degrees %v", sub.Deg)
+	}
+	if sub.Adj[sub.Offs[0]] != 1 || sub.Adj[sub.Offs[1]] != 0 {
+		t.Fatal("contracted adjacency wrong")
+	}
+	// Representatives map back to the centers.
+	if rep[compact[0]] != 0 || rep[compact[1]] != 2 {
+		t.Fatalf("rep=%v compact=%v", rep, compact)
+	}
+}
+
+func TestContractDedupModesCount(t *testing.T) {
+	labels := []int32{0, 0, 2, 2}
+	build := func() *decomp.WGraph {
+		return buildWGraph([][]int32{
+			{2, 2, 2}, // three parallel edges comp0 -> comp2
+			{},
+			{0, 0, 0},
+			{},
+		})
+	}
+	for _, mode := range []DedupMode{DedupHash, DedupSort} {
+		_, _, _, _, _, out := contract(build(), labels, 2, Options{Procs: 1, Dedup: mode})
+		if out != 2 {
+			t.Fatalf("%v: edgesOut=%d want 2", mode, out)
+		}
+	}
+	_, _, _, _, _, out := contract(build(), labels, 2, Options{Procs: 1, Dedup: DedupNone})
+	if out != 6 {
+		t.Fatalf("none: edgesOut=%d want 6", out)
+	}
+}
+
+func TestCCMinDeterministicAcrossProcsFullStack(t *testing.T) {
+	// decomp-min-CC is deterministic end to end: identical labels (not
+	// just identical partitions) for a fixed seed at any worker count.
+	g := graph.RMat(10, graph.RMatOptions{EdgeFactor: 6, Seed: 5})
+	var want []int32
+	for _, procs := range []int{1, 3, 7} {
+		labels, err := CC(g, Options{Variant: decomp.Min, Seed: 13, Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = labels
+			continue
+		}
+		for v := range want {
+			if labels[v] != want[v] {
+				t.Fatalf("procs=%d: labels[%d] differs", procs, v)
+			}
+		}
+	}
+}

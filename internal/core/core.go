@@ -1,0 +1,321 @@
+// Package core implements the paper's primary contribution: the
+// decomposition-based linear-work parallel connectivity algorithm
+// (Algorithm 1 of Shun, Dhulipala, Blelloch, SPAA'14).
+//
+// CC recursively (1) runs a low-diameter decomposition with a constant beta,
+// (2) contracts every partition to a single vertex, dropping intra-partition
+// and (optionally) duplicate edges, and (3) recurses on the contracted graph
+// until no edges remain, relabeling back up on return (RELABELUP). Since
+// each decomposition cuts at most a 2*beta fraction of edges in expectation,
+// the edge count shrinks geometrically: O(log n) levels and O(m) total work
+// in expectation, O(log^3 n) depth w.h.p.
+package core
+
+import (
+	"fmt"
+
+	"parconn/internal/decomp"
+	"parconn/internal/graph"
+	"parconn/internal/hashtable"
+	"parconn/internal/intsort"
+	"parconn/internal/parallel"
+)
+
+// DedupMode selects how duplicate edges between contracted components are
+// removed before recursing.
+type DedupMode int
+
+const (
+	// DedupHash removes duplicates with the phase-concurrent hash table
+	// (the paper's choice, §4).
+	DedupHash DedupMode = iota
+	// DedupSort removes duplicates by sorting and compacting.
+	DedupSort
+	// DedupNone keeps duplicates. The edge count still drops by a constant
+	// factor in expectation (the paper notes this ablation explicitly); on
+	// most real graphs duplicates are where the bulk of the reduction comes
+	// from, so this mode is markedly slower.
+	DedupNone
+)
+
+// String names the mode for harness output.
+func (d DedupMode) String() string {
+	switch d {
+	case DedupHash:
+		return "hash"
+	case DedupSort:
+		return "sort"
+	case DedupNone:
+		return "none"
+	default:
+		return fmt.Sprintf("dedup(%d)", int(d))
+	}
+}
+
+// Options configures a connectivity run.
+type Options struct {
+	// Variant selects the decomposition (Min, Arb, ArbHybrid). The zero
+	// value is Min; most callers want Arb or ArbHybrid.
+	Variant decomp.Variant
+	// Beta is the decomposition parameter; zero means 0.2 (within the
+	// paper's empirically best 0.05-0.2 band).
+	Beta float64
+	// Seed drives all randomness; each recursion level derives its own.
+	Seed uint64
+	// Procs bounds worker parallelism; <= 0 means GOMAXPROCS.
+	Procs int
+	// DenseFrac is ArbHybrid's dense-round threshold; zero means 20%.
+	DenseFrac float64
+	// EdgeParallel, when positive, processes edge lists of frontier
+	// vertices with at least this degree using nested parallelism (§4's
+	// optional high-degree optimization; Arb variant). Zero disables it.
+	EdgeParallel int
+	// Dedup selects duplicate-edge removal during contraction.
+	Dedup DedupMode
+	// Phases, if non-nil, accumulates per-phase wall time across all levels
+	// (Figures 5-7).
+	Phases *decomp.PhaseTimes
+	// Levels, if non-nil, receives one entry per recursion level
+	// (Figure 4's remaining-edge counts).
+	Levels *[]LevelStat
+}
+
+// LevelStat describes one recursion level of CC.
+type LevelStat struct {
+	Level      int
+	Vertices   int   // vertices entering this level
+	EdgesIn    int64 // directed edges entering this level
+	EdgesCut   int64 // directed inter-partition edges after decomposition
+	EdgesOut   int64 // directed edges passed to the next level (post dedup)
+	Components int   // partitions produced by this level's decomposition
+	Rounds     int   // BFS rounds in this level's decomposition
+}
+
+// maxLevels is a defensive bound on recursion depth. The expected number of
+// levels is O(log m); hitting this bound indicates the edge count stopped
+// shrinking, which the geometric-decrease guarantee makes astronomically
+// unlikely — treat it as an internal error rather than looping forever.
+const maxLevels = 128
+
+// CC computes a connected-components labeling of g. The returned labeling
+// assigns every vertex the id of a canonical vertex of its component, so
+// labels[v] == labels[u] iff u and v are connected, and labels[labels[v]] ==
+// labels[v].
+func CC(g *graph.Graph, opt Options) ([]int32, error) {
+	opt.Procs = parallel.Procs(opt.Procs)
+	if opt.Beta == 0 {
+		opt.Beta = 0.2
+	}
+	if opt.Beta <= 0 || opt.Beta >= 1 {
+		return nil, fmt.Errorf("core: beta %v out of (0,1)", opt.Beta)
+	}
+	w := decomp.NewWGraph(g, opt.Procs)
+	return ccLevel(w, opt, 0)
+}
+
+// ccLevel runs one level of Algorithm 1 on the working graph w and returns
+// labels in w's vertex space (values are canonical w-vertices).
+func ccLevel(w *decomp.WGraph, opt Options, level int) ([]int32, error) {
+	if level >= maxLevels {
+		return nil, fmt.Errorf("core: recursion exceeded %d levels; edge count is not decreasing", maxLevels)
+	}
+	if w.N == 0 {
+		return []int32{}, nil
+	}
+	procs := opt.Procs
+	edgesIn := w.LiveEdges(procs)
+
+	// Step 1: decompose. Each level derives an independent seed so repeated
+	// decompositions do not reuse the same permutation.
+	dopt := decomp.Options{
+		Beta:         opt.Beta,
+		Seed:         opt.Seed + uint64(level)*0x9e3779b97f4a7c15,
+		Procs:        procs,
+		DenseFrac:    opt.DenseFrac,
+		EdgeParallel: opt.EdgeParallel,
+		Phases:       opt.Phases,
+	}
+	res, err := decomp.Decompose(w, opt.Variant, dopt)
+	if err != nil {
+		return nil, err
+	}
+	labels := res.Labels // labels[v] = center id owning v
+
+	cut := w.LiveEdges(procs)
+	stat := LevelStat{
+		Level:      level,
+		Vertices:   w.N,
+		EdgesIn:    edgesIn,
+		EdgesCut:   cut,
+		Components: res.NumCenters,
+		Rounds:     res.Rounds,
+	}
+	if cut == 0 {
+		// Base case (|E'| == 0): every component was swallowed by a single
+		// ball; the decomposition labels are the final labels.
+		if opt.Levels != nil {
+			*opt.Levels = append(*opt.Levels, stat)
+		}
+		return labels, nil
+	}
+
+	// Step 2: contract (timed as the paper's "contractGraph" phase).
+	sw := startContract(opt.Phases)
+	sub, rep, present, compact, newID, edgesOut := contract(w, labels, res.NumCenters, opt)
+	stat.EdgesOut = edgesOut
+	if opt.Levels != nil {
+		*opt.Levels = append(*opt.Levels, stat)
+	}
+	sw.stop(opt.Phases)
+
+	// Step 3: recurse on the contracted graph.
+	subLabels, err := ccLevel(sub, opt, level+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: RELABELUP — map each vertex's component through the recursive
+	// labeling and back to a canonical vertex of this level.
+	sw = startContract(opt.Phases)
+	parallel.For(procs, w.N, func(v int) {
+		c := newID[labels[v]]
+		if present[c] != 0 {
+			labels[v] = rep[subLabels[compact[c]]]
+		}
+		// Singleton components keep their center label (paper: "singleton
+		// vertices are removed, but their labels are kept").
+	})
+	sw.stop(opt.Phases)
+	return labels, nil
+}
+
+// contract builds the next-level working graph: components become vertices,
+// intra-component edges are already gone, duplicate inter-component edges
+// are removed per opt.Dedup, and singleton components (no remaining edges)
+// are dropped. It returns the contracted graph, the representative original
+// vertex of each contracted vertex (rep), the present/compact component
+// mappings, the center renumbering newID, and the directed edge count of the
+// contracted graph.
+func contract(w *decomp.WGraph, labels []int32, numCenters int, opt Options) (sub *decomp.WGraph, rep []int32, present []int32, compact []int32, newID []int32, edgesOut int64) {
+	procs := opt.Procs
+	n := w.N
+
+	// Renumber centers to [0, k): newID[center] = rank. Only entries at
+	// center positions are meaningful.
+	isCenter := make([]int32, n)
+	parallel.For(procs, n, func(v int) {
+		if labels[v] == int32(v) {
+			isCenter[v] = 1
+		}
+	})
+	k := int(parallel.ExScan(procs, isCenter))
+	newID = isCenter // after the scan, isCenter[v] is the rank for centers
+	// centers[rank] = center vertex id (inverse of newID on centers).
+	centers := make([]int32, k)
+	parallel.For(procs, n, func(v int) {
+		if labels[v] == int32(v) {
+			centers[newID[v]] = int32(v)
+		}
+	})
+
+	// Gather the surviving directed edges as packed (srcComp, tgtComp)
+	// pairs in component space. Targets were relabeled to center ids during
+	// the decomposition; only the source endpoint needs mapping here (the
+	// paper's "we only need to relabel the source endpoint").
+	offs := make([]int64, n)
+	parallel.For(procs, n, func(v int) { offs[v] = int64(w.Deg[v]) })
+	total := parallel.ExScan(procs, offs)
+	kbits := uint(intsort.Bits(uint64(max64(1, int64(k)-1))))
+	pairs := make([]uint64, total)
+	parallel.Blocks(procs, n, frontGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			src := uint64(uint32(newID[labels[v]])) << kbits
+			base := w.Offs[v]
+			out := offs[v]
+			for i := int64(0); i < int64(w.Deg[v]); i++ {
+				tgt := uint64(uint32(newID[w.Adj[base+i]]))
+				pairs[out+i] = src | tgt
+			}
+		}
+	})
+
+	// Deduplicate and sort. Every path ends with pairs sorted by
+	// (src, tgt), which the CSR build below requires.
+	switch opt.Dedup {
+	case DedupHash:
+		// Hash dedup first so the integer sort only handles unique edges.
+		set := hashtable.NewSet(procs, len(pairs))
+		parallel.Blocks(procs, len(pairs), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				set.Insert(pairs[i])
+			}
+		})
+		pairs = set.Elements(procs)
+		intsort.SortUint64(procs, pairs, int(2*kbits))
+	case DedupSort:
+		intsort.SortUint64(procs, pairs, int(2*kbits))
+		pairs = intsort.UniqueSorted(procs, pairs)
+	case DedupNone:
+		intsort.SortUint64(procs, pairs, int(2*kbits))
+	}
+	edgesOut = int64(len(pairs))
+
+	// Components that retain at least one edge survive into the recursion;
+	// singletons are dropped (their labels are already final). Because the
+	// edge set is symmetric, marking sources marks every non-singleton.
+	present = make([]int32, k)
+	mask := uint64(1)<<kbits - 1
+	parallel.For(procs, len(pairs), func(i int) {
+		src := int32(pairs[i] >> kbits)
+		if i == 0 || int32(pairs[i-1]>>kbits) != src {
+			present[src] = 1
+		}
+	})
+	compact = make([]int32, k)
+	parallel.Copy(procs, compact, present)
+	kPrime := int(parallel.ExScan(procs, compact))
+
+	// rep[j] = the original-vertex center of contracted vertex j.
+	rep = make([]int32, kPrime)
+	parallel.For(procs, k, func(c int) {
+		if present[c] != 0 {
+			rep[compact[c]] = centers[c]
+		}
+	})
+
+	// Build the contracted working graph in compacted vertex space. compact
+	// is monotone, so remapped pairs stay sorted.
+	subOffs := make([]int64, kPrime+1)
+	parallel.Fill(procs, subOffs, -1)
+	subOffs[kPrime] = int64(len(pairs))
+	subAdj := make([]int32, len(pairs))
+	parallel.For(procs, len(pairs), func(i int) {
+		src := compact[pairs[i]>>kbits]
+		subAdj[i] = compact[int32(pairs[i]&mask)]
+		if i == 0 || int32(pairs[i-1]>>kbits) != int32(pairs[i]>>kbits) {
+			subOffs[src] = int64(i)
+		}
+	})
+	for v := kPrime - 1; v >= 0; v-- {
+		if subOffs[v] < 0 {
+			subOffs[v] = subOffs[v+1]
+		}
+	}
+	subDeg := make([]int32, kPrime)
+	parallel.For(procs, kPrime, func(v int) {
+		subDeg[v] = int32(subOffs[v+1] - subOffs[v])
+	})
+	sub = &decomp.WGraph{N: kPrime, Offs: subOffs, Adj: subAdj, Deg: subDeg}
+	return sub, rep, present, compact, newID, edgesOut
+}
+
+// frontGrain matches the decomposition's frontier grain for skewed-degree
+// loops.
+const frontGrain = 256
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"time"
+
+	"parconn/internal/decomp"
+)
+
+// contractWatch accumulates elapsed time into PhaseTimes.Contract; it is a
+// no-op when phase collection is off.
+type contractWatch struct {
+	start time.Time
+	on    bool
+}
+
+func startContract(p *decomp.PhaseTimes) contractWatch {
+	if p == nil {
+		return contractWatch{}
+	}
+	return contractWatch{start: time.Now(), on: true}
+}
+
+func (c contractWatch) stop(p *decomp.PhaseTimes) {
+	if c.on {
+		p.Contract += time.Since(c.start)
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"parconn/internal/decomp"
+	"parconn/internal/graph"
+)
+
+func TestDebugHighBeta(t *testing.T) {
+	g := graph.Line(50, 6)
+	var levels []LevelStat
+	_, err := CC(g, Options{Variant: decomp.Arb, Beta: 0.9, Seed: 1, Levels: &levels})
+	t.Logf("err=%v", err)
+	for i, ls := range levels {
+		if i > 12 && i < len(levels)-3 {
+			continue
+		}
+		t.Logf("%+v", ls)
+	}
+}

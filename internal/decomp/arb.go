@@ -1,0 +1,135 @@
+package decomp
+
+import (
+	"sync/atomic"
+	"time"
+
+	"parconn/internal/parallel"
+)
+
+// frontierGrain is the number of frontier vertices a worker claims at a
+// time. It is small because per-vertex work is proportional to degree and
+// degrees can be highly skewed.
+const frontierGrain = 256
+
+// decompArb is Algorithm 3 of the paper: one pass per round over the
+// frontier's edges; the first CAS to reach an unvisited vertex wins it.
+func decompArb(g *WGraph, opt Options) Result {
+	n, procs := g.N, opt.Procs
+	if n == 0 {
+		return Result{Labels: []int32{}}
+	}
+	t0 := time.Now()
+	c := make([]int32, n)
+	parallel.Fill(procs, c, unvisited)
+	var parents []int32
+	if opt.WantParents {
+		parents = make([]int32, n)
+		parallel.Fill(procs, parents, unvisited)
+	}
+	sh := newShifts(n, opt.Beta, opt.Seed, procs)
+	perm := sh.order
+	// Double-buffered frontier: cur = bufs[curBuf][:curN]; the next frontier
+	// accumulates in the other buffer through an atomic cursor.
+	var bufs [2][]int32
+	bufs[0] = make([]int32, n)
+	bufs[1] = make([]int32, n)
+	curBuf, curN := 0, 0
+	if opt.Phases != nil {
+		opt.Phases.Init += time.Since(t0)
+	}
+
+	permPtr, visited, round := 0, 0, 0
+	numCenters, workRounds := 0, 0
+	var cursor atomic.Int64
+	for visited < n {
+		// bfsPre: start new BFS's from the permutation prefix whose
+		// simulated shift falls below round+1 (paper lines 5-6).
+		tPre := time.Now()
+		if curN == 0 && permPtr < n {
+			round = sh.fastForward(round, permPtr)
+		}
+		end := sh.end(round)
+		added := 0
+		if end > permPtr {
+			cursor.Store(int64(curN))
+			front := bufs[curBuf]
+			base := permPtr
+			parallel.For(procs, end-permPtr, func(i int) {
+				v := perm[base+i]
+				if c[v] == unvisited {
+					c[v] = v
+					if parents != nil {
+						parents[v] = v
+					}
+					front[cursor.Add(1)-1] = v
+				}
+			})
+			permPtr = end
+			added = int(cursor.Load()) - curN
+			curN += added
+			numCenters += added
+		}
+		if opt.Phases != nil {
+			opt.Phases.BFSPre += time.Since(tPre)
+		}
+		if curN == 0 {
+			if permPtr >= n {
+				break // all vertices visited; loop condition ends next check
+			}
+			// The chunk just scanned was entirely already-visited; advance
+			// to the next round that yields new centers.
+			continue
+		}
+		if opt.Rounds != nil {
+			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added})
+		}
+
+		// bfsMain: single pass over the frontier's edges (paper lines 9-20).
+		tMain := time.Now()
+		cur := bufs[curBuf][:curN]
+		nxt := bufs[1-curBuf]
+		cursor.Store(0)
+		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				v := cur[fi]
+				cv := c[v]
+				start := g.Offs[v]
+				d := int64(g.Deg[v])
+				if opt.EdgeParallel > 0 && d >= int64(opt.EdgeParallel) {
+					processEdgesParallel(g, c, parents, v, cv, nxt, &cursor, procs)
+					continue
+				}
+				var k int64
+				for i := int64(0); i < d; i++ {
+					w := g.Adj[start+i]
+					if atomic.LoadInt32(&c[w]) == unvisited &&
+						atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
+						if parents != nil {
+							parents[w] = v
+						}
+						nxt[cursor.Add(1)-1] = w
+					} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
+						// Inter-component edge: keep it, relabeled to the
+						// neighbor's component id (paper line 18).
+						g.Adj[start+k] = cw
+						k++
+					}
+				}
+				g.Deg[v] = int32(k)
+			}
+		})
+		if opt.Phases != nil {
+			opt.Phases.BFSMain += time.Since(tMain)
+		}
+		// Count the frontier we just processed as visited (paper line 7);
+		// counting at claim time instead would end the loop before the last
+		// frontier's edges are classified.
+		visited += curN
+		curBuf = 1 - curBuf
+		curN = int(cursor.Load())
+		round++
+		workRounds++
+	}
+	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, Parents: parents}
+}

@@ -1,0 +1,272 @@
+// Package decomp implements the parallel low-diameter graph decomposition of
+// Miller, Peng, Xu (SPAA'13) and the two engineered variants introduced by
+// Shun, Dhulipala, Blelloch (SPAA'14, §4):
+//
+//   - Min: the original algorithm ("Decomp-Min"). Ties between BFS's
+//     arriving at a vertex in the same round are broken by the smallest
+//     fractional shift value via an atomic writeMin, requiring two phases
+//     per round (Algorithm 2 of the paper).
+//   - Arb: ties broken arbitrarily ("Decomp-Arb", Algorithm 3) — a single
+//     phase per round using one CAS per first visit. The paper proves this
+//     still yields a (2β, O(log n / β)) decomposition (Theorem 2).
+//   - ArbHybrid: Decomp-Arb plus Beamer-style direction optimization
+//     ("Decomp-Arb-Hybrid"): rounds whose frontier exceeds 20% of the
+//     vertices switch to a read-based pass over unvisited vertices, with a
+//     final filterEdges pass classifying the edges the dense rounds skipped.
+//
+// All variants operate destructively on a WGraph: intra-component edges are
+// deleted on the fly, inter-component edges are compacted to the front of
+// each vertex's edge segment and their targets relabeled to the owning
+// component's id (the paper's in-place packing described in §4). After
+// Decompose returns, WGraph holds exactly the inter-component edges, ready
+// for contraction.
+package decomp
+
+import (
+	"fmt"
+	"time"
+
+	"parconn/internal/parallel"
+	"parconn/internal/prand"
+)
+
+// Variant selects the decomposition algorithm.
+type Variant int
+
+const (
+	// Min is the original Miller et al. algorithm with deterministic
+	// smallest-shift tie-breaking (Decomp-Min).
+	Min Variant = iota
+	// Arb breaks ties arbitrarily (Decomp-Arb).
+	Arb
+	// ArbHybrid is Arb with direction-optimizing dense rounds
+	// (Decomp-Arb-Hybrid).
+	ArbHybrid
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Min:
+		return "decomp-min"
+	case Arb:
+		return "decomp-arb"
+	case ArbHybrid:
+		return "decomp-arb-hybrid"
+	default:
+		return fmt.Sprintf("decomp-variant(%d)", int(v))
+	}
+}
+
+// unvisited marks a vertex no BFS has reached yet (Arb / ArbHybrid).
+const unvisited = int32(-1)
+
+// Options configures a decomposition.
+type Options struct {
+	// Beta is the decomposition parameter: ball radii are O(log n / Beta)
+	// and at most Beta*m (2*Beta*m for Arb variants) edges cross partitions
+	// in expectation. Must be in (0, 1). Zero means the default 0.2.
+	Beta float64
+	// Seed drives the random permutation and the fractional shifts.
+	Seed uint64
+	// Procs bounds worker parallelism; <= 0 means GOMAXPROCS.
+	Procs int
+	// DenseFrac is the frontier fraction above which ArbHybrid switches to
+	// the read-based dense round. Zero means the paper's 20%.
+	DenseFrac float64
+	// EdgeParallel, when positive, processes the edge lists of frontier
+	// vertices whose live degree is at least this threshold with a nested
+	// parallel loop plus a pack, instead of sequentially (§4: "for
+	// high-degree vertices the inner sequential for-loops ... can be
+	// replaced with a parallel for-loop, marking the deleted edges with a
+	// special value and packing the edges with a parallel prefix sums").
+	// Zero disables it — the paper's final configuration, which found no
+	// benefit at modest core counts. Currently honored by the Arb variant.
+	EdgeParallel int
+	// Phases, if non-nil, accumulates wall-clock time per phase.
+	Phases *PhaseTimes
+	// Rounds, if non-nil, receives one entry per BFS round.
+	Rounds *[]RoundStat
+	// WantParents asks the Arb variant to record the BFS tree: the claim
+	// edges (parent[w] = the frontier vertex whose CAS captured w; centers
+	// are their own parents). The per-cluster trees are exactly the
+	// shortest-path trees the decomposition grows, which spanner
+	// construction consumes. Only honored by the Arb variant.
+	WantParents bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Beta == 0 {
+		o.Beta = 0.2
+	}
+	if o.DenseFrac == 0 {
+		o.DenseFrac = 0.2
+	}
+	o.Procs = parallel.Procs(o.Procs)
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Beta <= 0 || o.Beta >= 1 {
+		return fmt.Errorf("decomp: beta %v out of (0,1)", o.Beta)
+	}
+	if o.DenseFrac < 0 || o.DenseFrac > 1 {
+		return fmt.Errorf("decomp: dense fraction %v out of [0,1]", o.DenseFrac)
+	}
+	return nil
+}
+
+// PhaseTimes records where the wall-clock time of a connectivity run goes,
+// matching the paper's Figures 5-7 breakdowns. Durations accumulate across
+// recursion levels.
+type PhaseTimes struct {
+	Init        time.Duration // permutations, shift values, array init
+	BFSPre      time.Duration // adding new centers to the frontier
+	BFSPhase1   time.Duration // Decomp-Min first pass (writeMin marking)
+	BFSPhase2   time.Duration // Decomp-Min second pass (CAS claiming)
+	BFSMain     time.Duration // Decomp-Arb single pass
+	BFSSparse   time.Duration // ArbHybrid write-based rounds
+	BFSDense    time.Duration // ArbHybrid read-based rounds
+	FilterEdges time.Duration // ArbHybrid post-pass classifying edges
+	Contract    time.Duration // contraction + relabeling (filled by core)
+}
+
+// Total returns the sum of all recorded phases.
+func (p *PhaseTimes) Total() time.Duration {
+	return p.Init + p.BFSPre + p.BFSPhase1 + p.BFSPhase2 + p.BFSMain +
+		p.BFSSparse + p.BFSDense + p.FilterEdges + p.Contract
+}
+
+// RoundStat describes one BFS round of one decomposition call.
+type RoundStat struct {
+	Round      int
+	Frontier   int  // frontier size (centers + BFS arrivals)
+	NewCenters int  // centers started this round
+	Dense      bool // ArbHybrid used the read-based pass
+}
+
+// Result of a decomposition.
+type Result struct {
+	// Labels[v] is the id of the center whose ball captured v; vertices
+	// with the same label form one partition. A center c has Labels[c]==c.
+	Labels []int32
+	// NumCenters is the number of partitions (BFS's started).
+	NumCenters int
+	// Rounds is the number of BFS rounds executed (the maximum ball radius
+	// plus center-insertion rounds).
+	Rounds int
+	// Parents holds the BFS claim tree when Options.WantParents was set
+	// (nil otherwise): Parents[w] is the vertex that captured w, and
+	// centers have Parents[c] == c. Within each partition the parent edges
+	// form a shortest-path tree rooted at the center.
+	Parents []int32
+}
+
+// Decompose runs the selected variant on g, destructively (see package doc).
+func Decompose(g *WGraph, variant Variant, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return Result{}, err
+	}
+	switch variant {
+	case Min:
+		return decompMin(g, opt), nil
+	case Arb:
+		return decompArb(g, opt), nil
+	case ArbHybrid:
+		return decompArbHybrid(g, opt), nil
+	default:
+		return Result{}, fmt.Errorf("decomp: unknown variant %d", int(variant))
+	}
+}
+
+// shifts realizes the exponential start-time shifts of Miller et al.: each
+// vertex v draws delta_v ~ Exp(beta), and its BFS may start at round
+// floor(delta_max - delta_v) — the largest shift starts first, which is what
+// makes early centers few and balls large; the number of vertices becoming
+// eligible per round grows by a factor ~e^beta ("chunks of vertices from the
+// beginning of the permutation, where the chunk size grows exponentially",
+// §4). order lists the vertices by start round (a uniform random permutation
+// refined by round boundaries), and cum[r] counts vertices with start round
+// <= r, so round r's new centers are the still-unvisited vertices in
+// order[cum[r-1]:cum[r]].
+//
+// The paper replaces the draws with a permutation and analytic chunk sizes;
+// we keep the actual draws (same O(n) cost, deterministic per seed) because
+// the analytic rounding is degenerate on very small remainder graphs — with
+// n=2 and e^beta-1 > 1 it deterministically starts both vertices every
+// level and the recursion never bottoms out, whereas the true process
+// separates them with constant probability per level.
+type shifts struct {
+	order []int32
+	cum   []int
+}
+
+func newShifts(n int, beta float64, seed uint64, procs int) shifts {
+	deltas := make([]float64, n)
+	parallel.Blocks(procs, n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			deltas[v] = prand.ExpFromUniform(prand.Hash64(seed^(uint64(v)+0x51ed2701)), beta)
+		}
+	})
+	dmax := 0.0
+	if n > 0 {
+		dmax = parallel.Max(procs, deltas)
+	}
+	rounds := int(dmax) + 1
+	// Counting sort by start round (sequential: O(n + rounds), a tiny
+	// fraction of a decomposition's work, and proc-count independent).
+	counts := make([]int, rounds+1)
+	start := make([]int32, n)
+	for v := 0; v < n; v++ {
+		r := int(dmax - deltas[v])
+		start[v] = int32(r)
+		counts[r]++
+	}
+	cum := make([]int, rounds)
+	acc := 0
+	for r := 0; r < rounds; r++ {
+		acc += counts[r]
+		cum[r] = acc
+		counts[r] = acc - counts[r] // scatter cursor
+	}
+	order := make([]int32, n)
+	for v := 0; v < n; v++ {
+		r := start[v]
+		order[counts[r]] = int32(v)
+		counts[r]++
+	}
+	return shifts{order: order, cum: cum}
+}
+
+// end returns the number of vertices whose start round is <= round.
+func (s shifts) end(round int) int {
+	if round >= len(s.cum) {
+		return len(s.order)
+	}
+	if round < 0 {
+		return 0
+	}
+	return s.cum[round]
+}
+
+// fastForward returns the smallest round >= r whose schedule end exceeds
+// ptr. Used when the frontier goes empty: with no active BFS, idle rounds
+// are no-ops, so we jump to the round that produces the next center.
+func (s shifts) fastForward(r, ptr int) int {
+	for s.end(r) <= ptr {
+		r++
+	}
+	return r
+}
+
+// countVisited is a helper for stats assertions in tests.
+func countVisited(labels []int32) int {
+	c := 0
+	for _, l := range labels {
+		if l != unvisited {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,40 @@
+package decomp
+
+import (
+	"sync/atomic"
+
+	"parconn/internal/parallel"
+)
+
+// processEdgesParallel handles one high-degree frontier vertex by scanning
+// its live edge segment with a nested parallel loop, marking deleted edges
+// with a sentinel, and packing the survivors — the optional optimization
+// sketched at the end of §4. It implements exactly the semantics of the
+// sequential Arb inner loop.
+//
+// The deletion sentinel is -1: surviving entries are component ids, which
+// are always >= 0 at this point of the algorithm.
+func processEdgesParallel(g *WGraph, c, parents []int32, v, cv int32, nxt []int32, cursor *atomic.Int64, procs int) {
+	start := g.Offs[v]
+	seg := g.Adj[start : start+int64(g.Deg[v])]
+	parallel.Blocks(procs, len(seg), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := seg[i]
+			if atomic.LoadInt32(&c[w]) == unvisited &&
+				atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
+				if parents != nil {
+					parents[w] = v
+				}
+				nxt[cursor.Add(1)-1] = w
+				seg[i] = -1 // claimed: intra-component, delete
+			} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
+				seg[i] = cw // inter-component: keep, relabeled
+			} else {
+				seg[i] = -1 // intra-component, delete
+			}
+		}
+	})
+	kept := parallel.Pack(procs, seg, func(i int) bool { return seg[i] >= 0 })
+	parallel.Copy(procs, seg[:len(kept)], kept)
+	g.Deg[v] = int32(len(kept))
+}

@@ -1,0 +1,191 @@
+package decomp
+
+import (
+	"sync/atomic"
+	"time"
+
+	"parconn/internal/parallel"
+)
+
+// decompArbHybrid is Decomp-Arb with Beamer-style direction optimization
+// (§4, "Decomp-Arb-Hybrid"): when the frontier holds more than DenseFrac of
+// the vertices, the round switches to a read-based pass in which every
+// unvisited vertex scans its own neighbors for one on the frontier and
+// adopts that neighbor's component — no atomics, early exit, cache-friendly.
+//
+// Unlike a plain BFS, connectivity must eventually classify every edge as
+// intra- or inter-component; dense rounds skip that work, so a filterEdges
+// post-pass classifies whatever the BFS did not touch. Sparse rounds mark
+// the edges they already relabeled with the sign bit so filterEdges does not
+// process them again (paper §4, last paragraph).
+func decompArbHybrid(g *WGraph, opt Options) Result {
+	n, procs := g.N, opt.Procs
+	if n == 0 {
+		return Result{Labels: []int32{}}
+	}
+	t0 := time.Now()
+	c := make([]int32, n)
+	parallel.Fill(procs, c, unvisited)
+	// frontRound[v] is the round at which v joined the frontier; the dense
+	// pass tests membership with it instead of a bitmap (no per-round
+	// clearing needed).
+	frontRound := make([]int32, n)
+	parallel.Fill(procs, frontRound, int32(-1))
+	sh := newShifts(n, opt.Beta, opt.Seed, procs)
+	perm := sh.order
+	var bufs [2][]int32
+	bufs[0] = make([]int32, n)
+	bufs[1] = make([]int32, n)
+	curBuf, curN := 0, 0
+	if opt.Phases != nil {
+		opt.Phases.Init += time.Since(t0)
+	}
+
+	denseThreshold := int(opt.DenseFrac * float64(n))
+	permPtr, visited, round := 0, 0, 0
+	numCenters, workRounds := 0, 0
+	var cursor atomic.Int64
+	for visited < n {
+		tPre := time.Now()
+		if curN == 0 && permPtr < n {
+			round = sh.fastForward(round, permPtr)
+		}
+		end := sh.end(round)
+		added := 0
+		if end > permPtr {
+			cursor.Store(int64(curN))
+			front := bufs[curBuf]
+			base := permPtr
+			r32 := int32(round)
+			parallel.For(procs, end-permPtr, func(i int) {
+				v := perm[base+i]
+				if c[v] == unvisited {
+					c[v] = v
+					frontRound[v] = r32
+					front[cursor.Add(1)-1] = v
+				}
+			})
+			permPtr = end
+			added = int(cursor.Load()) - curN
+			curN += added
+			numCenters += added
+		}
+		if opt.Phases != nil {
+			opt.Phases.BFSPre += time.Since(tPre)
+		}
+		if curN == 0 {
+			if permPtr >= n {
+				break // all vertices visited; loop condition ends next check
+			}
+			// The chunk just scanned was entirely already-visited; advance
+			// to the next round that yields new centers.
+			continue
+		}
+		dense := curN > denseThreshold
+		if opt.Rounds != nil {
+			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added, Dense: dense})
+		}
+		cur := bufs[curBuf][:curN]
+		nxt := bufs[1-curBuf]
+		cursor.Store(0)
+
+		if dense {
+			// Read-based pass: every unvisited vertex looks for any
+			// neighbor on the current frontier and adopts its component,
+			// exiting the scan early. Edges are left unclassified for
+			// filterEdges.
+			tDense := time.Now()
+			r32 := int32(round)
+			parallel.Blocks(procs, n, 0, func(lo, hi int) {
+				for w := lo; w < hi; w++ {
+					if c[w] != unvisited {
+						continue
+					}
+					start := g.Offs[int32(w)]
+					d := int64(g.Deg[w])
+					for i := int64(0); i < d; i++ {
+						u := g.Adj[start+i]
+						if frontRound[u] == r32 {
+							c[w] = c[u]
+							nxt[cursor.Add(1)-1] = int32(w)
+							break
+						}
+					}
+				}
+			})
+			newN := int(cursor.Load())
+			r32next := int32(round + 1)
+			parallel.For(procs, newN, func(i int) { frontRound[nxt[i]] = r32next })
+			if opt.Phases != nil {
+				opt.Phases.BFSDense += time.Since(tDense)
+			}
+		} else {
+			// Write-based pass: Decomp-Arb's single CAS pass, except that
+			// relabeled inter-component edges get the sign bit set so the
+			// filterEdges pass can tell them from untouched edges.
+			tSparse := time.Now()
+			r32next := int32(round + 1)
+			parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
+				for fi := lo; fi < hi; fi++ {
+					v := cur[fi]
+					cv := c[v]
+					start := g.Offs[v]
+					d := int64(g.Deg[v])
+					var k int64
+					for i := int64(0); i < d; i++ {
+						w := g.Adj[start+i]
+						if atomic.LoadInt32(&c[w]) == unvisited &&
+							atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
+							frontRound[w] = r32next
+							nxt[cursor.Add(1)-1] = w
+						} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
+							g.Adj[start+k] = -cw - 1
+							k++
+						}
+					}
+					g.Deg[v] = int32(k)
+				}
+			})
+			if opt.Phases != nil {
+				opt.Phases.BFSSparse += time.Since(tSparse)
+			}
+		}
+		// Count the frontier we just processed as visited (paper line 7);
+		// counting at claim time instead would end the loop before the last
+		// frontier's edges are classified.
+		visited += curN
+		curBuf = 1 - curBuf
+		curN = int(cursor.Load())
+		round++
+		workRounds++
+	}
+
+	// filterEdges: classify every surviving edge. Vertices processed by
+	// sparse rounds hold only sign-marked (already classified, relabeled)
+	// entries; vertices visited during dense rounds hold their untouched
+	// original lists.
+	tFilter := time.Now()
+	parallel.Blocks(procs, n, frontierGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			start := g.Offs[v]
+			d := int64(g.Deg[v])
+			cv := c[v]
+			var k int64
+			for i := int64(0); i < d; i++ {
+				e := g.Adj[start+i]
+				if e < 0 {
+					g.Adj[start+k] = -e - 1
+					k++
+				} else if cw := c[e]; cw != cv {
+					g.Adj[start+k] = cw
+					k++
+				}
+			}
+			g.Deg[v] = int32(k)
+		}
+	})
+	if opt.Phases != nil {
+		opt.Phases.FilterEdges += time.Since(tFilter)
+	}
+	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds}
+}

@@ -1,0 +1,231 @@
+package decomp
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"parconn/internal/parallel"
+	"parconn/internal/prand"
+)
+
+// Decomp-Min (Algorithm 2 of the paper) stores per vertex a pair
+// (c1, c2): c1 is the conflict-resolution slot frontier vertices writeMin
+// their center's fractional shift into, and c2 is the component id. The
+// pair is packed into one int64 — the paper stores the pair contiguously
+// for the same reason (one cache line, one atomic word):
+//
+//	c1 = int32(packed >> 32)    c2 = int32(packed)
+//
+// Signed comparison of packed values is lexicographic on (c1, c2), so a
+// single CAS-loop writeMin on the packed word implements the paper's
+// writeMin on the first component, with center id as a deterministic
+// tiebreaker. c1 = -1 (pair < 0) marks a visited vertex and is smaller than
+// every mark, so writeMin can never overwrite it.
+
+const minInf = int32(math.MaxInt32)
+
+// deltaFracBits sizes the range fractional shifts are drawn from; 2^30
+// makes same-round ties between distinct centers vanishingly rare (§4
+// "drawn from a large enough range").
+const deltaFracBits = 30
+
+func packPair(c1, c2 int32) int64 { return int64(c1)<<32 | int64(uint32(c2)) }
+func pairC1(p int64) int32        { return int32(p >> 32) }
+func pairC2(p int64) int32        { return int32(uint32(p)) }
+
+// writeMin atomically lowers *loc to val if val is smaller; it reports
+// whether it changed *loc (§2 of the paper).
+func writeMin(loc *int64, val int64) bool {
+	for {
+		cur := atomic.LoadInt64(loc)
+		if val >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(loc, cur, val) {
+			return true
+		}
+	}
+}
+
+// decompMin is the original Miller et al. decomposition with deterministic
+// smallest-shift tie-breaking; two passes over the frontier's edges per
+// round (paper Algorithm 2).
+func decompMin(g *WGraph, opt Options) Result {
+	n, procs := g.N, opt.Procs
+	if n == 0 {
+		return Result{Labels: []int32{}}
+	}
+	t0 := time.Now()
+	c := make([]int64, n)
+	parallel.Fill(procs, c, packPair(minInf, minInf))
+	// deltaFrac[v] simulates the fractional part of v's exponential shift;
+	// only consulted for vertices that become centers.
+	deltaFrac := make([]int32, n)
+	seed := opt.Seed
+	parallel.For(procs, n, func(v int) {
+		deltaFrac[v] = int32(prand.Hash32(seed^uint64(v)<<1) & (1<<deltaFracBits - 1))
+	})
+	sh := newShifts(n, opt.Beta, opt.Seed, procs)
+	perm := sh.order
+	var bufs [2][]int32
+	bufs[0] = make([]int32, n)
+	bufs[1] = make([]int32, n)
+	curBuf, curN := 0, 0
+	if opt.Phases != nil {
+		opt.Phases.Init += time.Since(t0)
+	}
+
+	permPtr, visited, round := 0, 0, 0
+	numCenters, workRounds := 0, 0
+	var cursor atomic.Int64
+	for visited < n {
+		tPre := time.Now()
+		if curN == 0 && permPtr < n {
+			round = sh.fastForward(round, permPtr)
+		}
+		end := sh.end(round)
+		added := 0
+		if end > permPtr {
+			cursor.Store(int64(curN))
+			front := bufs[curBuf]
+			base := permPtr
+			parallel.For(procs, end-permPtr, func(i int) {
+				v := perm[base+i]
+				if pairC1(c[v]) != -1 {
+					c[v] = packPair(-1, v)
+					front[cursor.Add(1)-1] = v
+				}
+			})
+			permPtr = end
+			added = int(cursor.Load()) - curN
+			curN += added
+			numCenters += added
+		}
+		if opt.Phases != nil {
+			opt.Phases.BFSPre += time.Since(tPre)
+		}
+		if curN == 0 {
+			if permPtr >= n {
+				break // all vertices visited; loop condition ends next check
+			}
+			// The chunk just scanned was entirely already-visited; advance
+			// to the next round that yields new centers.
+			continue
+		}
+		if opt.Rounds != nil {
+			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added})
+		}
+		cur := bufs[curBuf][:curN]
+		nxt := bufs[1-curBuf]
+		cursor.Store(0)
+
+		// Phase 1 (paper lines 9-23): mark unvisited neighbors with
+		// writeMin; edges to already-visited neighbors are classified now.
+		t1 := time.Now()
+		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				v := cur[fi]
+				cv := pairC2(atomic.LoadInt64(&c[v]))
+				mark := packPair(deltaFrac[cv], cv)
+				start := g.Offs[v]
+				d := int64(g.Deg[v])
+				var k int64
+				for i := int64(0); i < d; i++ {
+					w := g.Adj[start+i]
+					cw := atomic.LoadInt64(&c[w])
+					if pairC1(cw) != -1 {
+						// Not yet visited in a previous round: compete for
+						// it, and keep the edge — its status is unknown
+						// until all writeMins land.
+						if mark < cw {
+							writeMin(&c[w], mark)
+						}
+						g.Adj[start+k] = w
+						k++
+					} else if cw2 := pairC2(cw); cw2 != cv {
+						// Visited earlier, different component: keep as an
+						// inter-component edge, relabeled, sign bit set so
+						// phase 2 skips it (paper lines 20-22).
+						g.Adj[start+k] = -cw2 - 1
+						k++
+					}
+				}
+				g.Deg[v] = int32(k)
+			}
+		})
+		if opt.Phases != nil {
+			opt.Phases.BFSPhase1 += time.Since(t1)
+		}
+
+		// Phase 2 (paper lines 24-39): the centers whose mark survived
+		// claim their neighbors with a CAS; remaining edges are classified.
+		t2 := time.Now()
+		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				v := cur[fi]
+				cv := pairC2(atomic.LoadInt64(&c[v]))
+				expected := packPair(deltaFrac[cv], cv)
+				won := packPair(-1, cv)
+				start := g.Offs[v]
+				d := int64(g.Deg[v])
+				var k int64
+				for i := int64(0); i < d; i++ {
+					w := g.Adj[start+i]
+					if w < 0 {
+						// Classified in phase 1; keep.
+						g.Adj[start+k] = w
+						k++
+						continue
+					}
+					cw := atomic.LoadInt64(&c[w])
+					if cw == expected {
+						if atomic.CompareAndSwapInt64(&c[w], expected, won) {
+							// v won w: add to the next frontier; the edge is
+							// intra-component and deleted.
+							nxt[cursor.Add(1)-1] = w
+							continue
+						}
+						// A same-component peer got there first; the slot
+						// now holds (-1, cv).
+						cw = atomic.LoadInt64(&c[w])
+					}
+					if cw2 := pairC2(cw); cw2 != cv {
+						g.Adj[start+k] = -cw2 - 1
+						k++
+					}
+				}
+				g.Deg[v] = int32(k)
+			}
+		})
+		if opt.Phases != nil {
+			opt.Phases.BFSPhase2 += time.Since(t2)
+		}
+		// Count the frontier we just processed as visited (paper line 7);
+		// counting at claim time instead would end the loop before the last
+		// frontier's edges are classified.
+		visited += curN
+		curBuf = 1 - curBuf
+		curN = int(cursor.Load())
+		round++
+		workRounds++
+	}
+
+	// Unset the sign bits of the surviving (inter-component) edges so the
+	// contraction phase sees plain component ids, and extract the labels.
+	tEnd := time.Now()
+	parallel.For(procs, n, func(v int) {
+		start := g.Offs[v]
+		for i := int64(0); i < int64(g.Deg[v]); i++ {
+			if e := g.Adj[start+i]; e < 0 {
+				g.Adj[start+i] = -e - 1
+			}
+		}
+	})
+	labels := make([]int32, n)
+	parallel.For(procs, n, func(v int) { labels[v] = pairC2(c[v]) })
+	if opt.Phases != nil {
+		opt.Phases.BFSPhase2 += time.Since(tEnd)
+	}
+	return Result{Labels: labels, NumCenters: numCenters, Rounds: workRounds}
+}

@@ -1,0 +1,38 @@
+package decomp
+
+import (
+	"parconn/internal/graph"
+	"parconn/internal/parallel"
+)
+
+// WGraph is the mutable working graph the decomposition runs on: the
+// paper's V/E/D representation (§4). Offs are fixed for the lifetime of one
+// decomposition call; Adj entries are overwritten in place as intra-component
+// edges are deleted and inter-component targets relabeled; Deg[v] tracks how
+// many live edges remain at the front of v's segment.
+type WGraph struct {
+	N    int
+	Offs []int64 // length N+1, frozen
+	Adj  []int32 // mutated in place
+	Deg  []int32 // live-edge counts; Deg[v] <= Offs[v+1]-Offs[v]
+}
+
+// NewWGraph copies g into a fresh working graph.
+func NewWGraph(g *graph.Graph, procs int) *WGraph {
+	w := &WGraph{
+		N:    g.N,
+		Offs: g.Offs, // offsets are never mutated; share them
+		Adj:  make([]int32, len(g.Adj)),
+		Deg:  make([]int32, g.N),
+	}
+	parallel.Copy(procs, w.Adj, g.Adj)
+	parallel.For(procs, g.N, func(v int) {
+		w.Deg[v] = int32(g.Offs[v+1] - g.Offs[v])
+	})
+	return w
+}
+
+// LiveEdges returns the current number of live directed edges (sum of Deg).
+func (w *WGraph) LiveEdges(procs int) int64 {
+	return parallel.MapReduce(procs, w.N, func(v int) int64 { return int64(w.Deg[v]) })
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the whitespace-separated edge-list format used by
+// SNAP (https://snap.stanford.edu) — the source of the paper's com-Orkut
+// graph — and by many other graph repositories:
+//
+//	# comment lines start with '#' (or '%')
+//	<u> <v>
+//	...
+//
+// Vertex ids may be arbitrary non-negative integers; they are compacted to
+// a dense [0, n) range in first-appearance order. The graph is
+// symmetrized, self-loops are dropped, and duplicates are removed. Use it
+// to run this library on the paper's real inputs:
+//
+//	f, _ := os.Open("com-orkut.ungraph.txt")
+//	g, _ := graph.ReadEdgeList(f)
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	remap := make(map[int64]int32)
+	var edges []Edge
+	lineNo := 0
+	mapID := func(raw int64) int32 {
+		id, ok := remap[raw]
+		if !ok {
+			id = int32(len(remap))
+			remap[raw] = id
+		}
+		return id
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: need two ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %w", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: edge list line %d: negative id", lineNo)
+		}
+		if len(remap) >= 1<<31-4 {
+			return nil, fmt.Errorf("graph: edge list has too many distinct vertices")
+		}
+		edges = append(edges, Edge{mapID(u), mapID(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(len(remap), edges, BuildOptions{RemoveDuplicates: true}), nil
+}
+
+// WriteEdgeList writes g as a SNAP-style edge list (each undirected edge
+// once, smaller endpoint first).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# Undirected graph: %d vertices, %d edges\n", g.N, g.NumUndirected())
+	buf := make([]byte, 0, 24)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if v > int32(u) {
+				buf = strconv.AppendInt(buf[:0], int64(u), 10)
+				buf = append(buf, '\t')
+				buf = strconv.AppendInt(buf, int64(v), 10)
+				buf = append(buf, '\n')
+				if _, err := bw.Write(buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

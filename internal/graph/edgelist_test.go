@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# FromNodeId	ToNodeId
+1 2
+2 3
+% another comment style
+
+1000000 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 {
+		t.Fatalf("n=%d want 4 (compacted ids)", g.N)
+	}
+	if g.NumUndirected() != 3 {
+		t.Fatalf("m=%d want 3", g.NumUndirected())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if NumComponentsOf(RefCC(g)) != 1 {
+		t.Fatal("should be one component")
+	}
+}
+
+func TestReadEdgeListDedupAndSelfLoops(t *testing.T) {
+	in := "1 2\n2 1\n1 2\n3 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumUndirected() != 1 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumUndirected())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"one field":   "5\n",
+		"non-numeric": "a b\n",
+		"negative":    "-1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	g, err := ReadEdgeList(strings.NewReader(""))
+	if err != nil || g.N != 0 {
+		t.Fatal("empty input should give empty graph")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	orig := RMat(8, RMatOptions{EdgeFactor: 4, Seed: 3})
+	var buf bytes.Buffer
+	if err := orig.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ids are compacted in first-appearance order, so compare structure:
+	// vertex/edge counts and the partition refinement must match.
+	// Count only non-isolated vertices of orig (isolated ones never appear
+	// in an edge list).
+	nonIso := 0
+	for v := 0; v < orig.N; v++ {
+		if orig.Degree(int32(v)) > 0 {
+			nonIso++
+		}
+	}
+	if got.N != nonIso {
+		t.Fatalf("n=%d want %d", got.N, nonIso)
+	}
+	if got.NumUndirected() != orig.NumUndirected() {
+		t.Fatalf("m=%d want %d", got.NumUndirected(), orig.NumUndirected())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

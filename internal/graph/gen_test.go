@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestRandomGraphShape(t *testing.T) {
+	g := Random(1000, 5, 1)
+	if g.N != 1000 {
+		t.Fatalf("n=%d", g.N)
+	}
+	// m = 5n minus dropped self-loops (rare): within 1%.
+	if g.NumUndirected() < 4950 || g.NumUndirected() > 5000 {
+		t.Fatalf("m=%d want ~5000", g.NumUndirected())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := Random(500, 5, 7)
+	b := Random(500, 5, 7)
+	if a.NumDirected() != b.NumDirected() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			t.Fatalf("adj differs at %d", i)
+		}
+	}
+	c := Random(500, 5, 8)
+	same := a.NumDirected() == c.NumDirected()
+	if same {
+		diff := false
+		for i := range a.Adj {
+			if a.Adj[i] != c.Adj[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds gave identical graphs")
+		}
+	}
+}
+
+func TestRandomGraphMostlyConnected(t *testing.T) {
+	// A random graph with 5 edges/vertex is connected w.h.p.; allow a couple
+	// of tiny extra components but expect a giant one.
+	g := Random(2000, 5, 3)
+	labels := RefCC(g)
+	sizes := ComponentSizesOf(labels)
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	if max < g.N*95/100 {
+		t.Fatalf("giant component only %d/%d", max, g.N)
+	}
+}
+
+func TestRMatShape(t *testing.T) {
+	g := RMat(10, RMatOptions{EdgeFactor: 5, Seed: 1})
+	if g.N != 1024 {
+		t.Fatalf("n=%d", g.N)
+	}
+	if g.NumUndirected() == 0 || g.NumUndirected() > 5*1024 {
+		t.Fatalf("m=%d", g.NumUndirected())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMatPowerLaw(t *testing.T) {
+	// The max degree of an rMat graph should far exceed the average.
+	g := RMat(12, RMatOptions{EdgeFactor: 8, Seed: 2})
+	avg := float64(g.NumDirected()) / float64(g.N)
+	if float64(g.MaxDegree()) < 4*avg {
+		t.Fatalf("max degree %d not heavy-tailed (avg %.1f)", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMatKeepDuplicates(t *testing.T) {
+	dedup := RMat(8, RMatOptions{EdgeFactor: 16, Seed: 3})
+	kept := RMat(8, RMatOptions{EdgeFactor: 16, Seed: 3, KeepDuplicates: true})
+	if kept.NumUndirected() < dedup.NumUndirected() {
+		t.Fatalf("kept %d < dedup %d", kept.NumUndirected(), dedup.NumUndirected())
+	}
+	if err := kept.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid3DShape(t *testing.T) {
+	g := Grid3D(5, 1)
+	if g.N != 125 {
+		t.Fatalf("n=%d", g.N)
+	}
+	if g.NumUndirected() != 3*125 {
+		t.Fatalf("m=%d want %d", g.NumUndirected(), 3*125)
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Degree(int32(v)) != 6 {
+			t.Fatalf("degree(%d)=%d want 6", v, g.Degree(int32(v)))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	labels := RefCC(g)
+	if NumComponentsOf(labels) != 1 {
+		t.Fatal("torus not connected")
+	}
+}
+
+func TestGrid3DDegenerate(t *testing.T) {
+	for _, side := range []int{0, 1, 2} {
+		g := Grid3D(side, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("side=%d: %v", side, err)
+		}
+	}
+	g2 := Grid3D(2, 1)
+	if NumComponentsOf(RefCC(g2)) != 1 {
+		t.Fatal("2-torus not connected")
+	}
+}
+
+func TestLineShape(t *testing.T) {
+	g := Line(100, 4)
+	if g.N != 100 || g.NumUndirected() != 99 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumUndirected())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deg1 := 0
+	for v := 0; v < g.N; v++ {
+		switch g.Degree(int32(v)) {
+		case 1:
+			deg1++
+		case 2:
+		default:
+			t.Fatalf("degree(%d)=%d", v, g.Degree(int32(v)))
+		}
+	}
+	if deg1 != 2 {
+		t.Fatalf("%d endpoints, want 2", deg1)
+	}
+	if NumComponentsOf(RefCC(g)) != 1 {
+		t.Fatal("line not connected")
+	}
+}
+
+func TestLineTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		g := Line(n, 1)
+		if g.N != n {
+			t.Fatalf("n=%d: got %d", n, g.N)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSocialShape(t *testing.T) {
+	g := Social(10, 5)
+	if g.N != 1024 {
+		t.Fatalf("n=%d", g.N)
+	}
+	ratio := float64(g.NumUndirected()) / float64(g.N)
+	// Orkut's ratio is ~38; dedup on a small scale loses some, accept >15.
+	if ratio < 15 {
+		t.Fatalf("edge/vertex ratio %.1f too low for a social-graph stand-in", ratio)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.Degree(0) != 5 {
+		t.Fatalf("center degree %d", g.Degree(0))
+	}
+	if NumComponentsOf(RefCC(g)) != 1 {
+		t.Fatal("star not connected")
+	}
+}
+
+func TestComponentsUnion(t *testing.T) {
+	g := Components(Line(3, 1), Star(4), Line(2, 2))
+	if g.N != 9 {
+		t.Fatalf("n=%d", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := NumComponentsOf(RefCC(g)); got != 3 {
+		t.Fatalf("components=%d want 3", got)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	type genFn func() *Graph
+	gens := map[string]genFn{
+		"rmat":   func() *Graph { return RMat(8, RMatOptions{EdgeFactor: 4, Seed: 11}) },
+		"grid3d": func() *Graph { return Grid3D(4, 11) },
+		"line":   func() *Graph { return Line(64, 11) },
+	}
+	for name, fn := range gens {
+		a, b := fn(), fn()
+		if a.NumDirected() != b.NumDirected() {
+			t.Fatalf("%s: sizes differ", name)
+		}
+		for i := range a.Adj {
+			if a.Adj[i] != b.Adj[i] {
+				t.Fatalf("%s: adj differs at %d", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The text format is the PBBS / Ligra "AdjacencyGraph" format the paper's
+// artifact uses:
+//
+//	AdjacencyGraph
+//	<n>
+//	<m>
+//	<offset 0>
+//	...
+//	<offset n-1>
+//	<edge 0>
+//	...
+//	<edge m-1>
+//
+// where m counts directed edges (each undirected edge appears twice).
+
+const adjHeader = "AdjacencyGraph"
+
+// Write writes g in AdjacencyGraph format.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", adjHeader, g.N, len(g.Adj)); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 20)
+	for v := 0; v < g.N; v++ {
+		buf = strconv.AppendInt(buf[:0], g.Offs[v], 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Adj {
+		buf = strconv.AppendInt(buf[:0], int64(e), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses an AdjacencyGraph-format graph.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	next := func() (string, error) {
+		for sc.Scan() {
+			tok := sc.Text()
+			if tok != "" {
+				return tok, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	sc.Split(bufio.ScanWords)
+	head, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if head != adjHeader {
+		return nil, fmt.Errorf("graph: bad header %q, want %q", head, adjHeader)
+	}
+	readInt := func() (int64, error) {
+		tok, err := next()
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseInt(tok, 10, 64)
+	}
+	n64, err := readInt()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading n: %w", err)
+	}
+	m64, err := readInt()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading m: %w", err)
+	}
+	if n64 < 0 || m64 < 0 || n64 > 1<<31-2 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n64, m64)
+	}
+	n, m := int(n64), int(m64)
+	g := &Graph{N: n, Offs: make([]int64, n+1), Adj: make([]int32, m)}
+	for v := 0; v < n; v++ {
+		o, err := readInt()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading offset %d: %w", v, err)
+		}
+		if o < 0 || o > m64 {
+			return nil, fmt.Errorf("graph: offset %d out of range: %d", v, o)
+		}
+		g.Offs[v] = o
+	}
+	g.Offs[n] = m64
+	for i := 0; i < m; i++ {
+		e, err := readInt()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if e < 0 || e >= n64 {
+			return nil, fmt.Errorf("graph: edge target %d out of range", e)
+		}
+		g.Adj[i] = int32(e)
+	}
+	for v := 0; v < n; v++ {
+		if g.Offs[v] > g.Offs[v+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+	}
+	return g, nil
+}

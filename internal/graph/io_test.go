@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"line":     Line(50, 1),
+		"rmat":     RMat(7, RMatOptions{EdgeFactor: 4, Seed: 2}),
+		"empty":    FromEdges(0, nil, BuildOptions{}),
+		"isolated": FromEdges(5, nil, BuildOptions{}),
+		"single":   FromEdges(2, []Edge{{0, 1}}, BuildOptions{}),
+	} {
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.N != g.N || got.NumDirected() != g.NumDirected() {
+			t.Fatalf("%s: shape mismatch", name)
+		}
+		for v := 0; v <= g.N; v++ {
+			if got.Offs[v] != g.Offs[v] {
+				t.Fatalf("%s: offset %d mismatch", name, v)
+			}
+		}
+		for i := range g.Adj {
+			if got.Adj[i] != g.Adj[i] {
+				t.Fatalf("%s: adj %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "WrongHeader\n2\n2\n0\n1\n1\n0\n",
+		"truncated":       "AdjacencyGraph\n2\n2\n0\n1\n1\n",
+		"negative n":      "AdjacencyGraph\n-1\n0\n",
+		"edge range":      "AdjacencyGraph\n2\n2\n0\n1\n5\n0\n",
+		"offset range":    "AdjacencyGraph\n2\n2\n0\n9\n1\n0\n",
+		"non-numeric":     "AdjacencyGraph\nx\n0\n",
+		"empty input":     "",
+		"offsets reorder": "AdjacencyGraph\n3\n2\n0\n2\n1\n0\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadFrom(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadFromMinimal(t *testing.T) {
+	g, err := ReadFrom(strings.NewReader("AdjacencyGraph\n0\n0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 0 {
+		t.Fatal("n != 0")
+	}
+}

@@ -1,0 +1,118 @@
+package graph
+
+// This file holds sequential reference algorithms used as test oracles and
+// for graph statistics. They are deliberately simple; none of them are used
+// on the library's hot paths.
+
+// RefCC returns a connected-components labeling by sequential BFS: every
+// vertex gets the smallest vertex id in its component as its label.
+func RefCC(g *Graph) []int32 {
+	labels := make([]int32, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for s := 0; s < g.N; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		root := int32(s)
+		labels[s] = root
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if labels[w] == -1 {
+					labels[w] = root
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// NumComponentsOf returns the number of distinct labels in a labeling.
+func NumComponentsOf(labels []int32) int {
+	seen := make(map[int32]struct{})
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SamePartition reports whether two labelings induce the same partition of
+// the vertex set (labels may differ; the equivalence classes must match).
+func SamePartition(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int32]int32)
+	bwd := make(map[int32]int32)
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok {
+			if m != b[i] {
+				return false
+			}
+		} else {
+			fwd[a[i]] = b[i]
+		}
+		if m, ok := bwd[b[i]]; ok {
+			if m != a[i] {
+				return false
+			}
+		} else {
+			bwd[b[i]] = a[i]
+		}
+	}
+	return true
+}
+
+// BFSDistances returns the unweighted shortest-path distance from src to
+// every vertex (-1 if unreachable). Used by decomposition-diameter tests.
+func BFSDistances(g *Graph, src int32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{src}
+	for d := int32(1); len(frontier) > 0; d++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == -1 {
+					dist[w] = d
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// ComponentSizesOf returns a map from label to component size.
+func ComponentSizesOf(labels []int32) map[int32]int {
+	sizes := make(map[int32]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// InducedSubgraphCheck verifies that the partition given by labels only cuts
+// edges between differently-labeled endpoints; it returns the number of cut
+// (inter-partition) directed edges.
+func InducedSubgraphCheck(g *Graph, labels []int32) int64 {
+	var cut int64
+	for u := 0; u < g.N; u++ {
+		for _, w := range g.Neighbors(int32(u)) {
+			if labels[u] != labels[w] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

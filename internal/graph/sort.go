@@ -1,0 +1,26 @@
+package graph
+
+import (
+	"parconn/internal/intsort"
+	"parconn/internal/parallel"
+)
+
+// sortPairs sorts packed (u,v) directed-edge pairs by (u,v). Only the bits
+// that can be non-zero given n are sorted, so the radix sort does the
+// minimum number of passes.
+func sortPairs(procs int, pairs []uint64, n int) {
+	if n < 1 {
+		n = 1
+	}
+	vbits := intsort.Bits(uint64(n - 1))
+	// Keys occupy the low vbits of each half-word; the high half starts at
+	// bit 32 regardless, so significant width is 32 + vbits.
+	intsort.SortUint64(procs, pairs, 32+vbits)
+}
+
+// uniqueSorted removes adjacent duplicates from a sorted slice.
+func uniqueSorted(procs int, pairs []uint64) []uint64 {
+	return parallel.Pack(procs, pairs, func(i int) bool {
+		return i == 0 || pairs[i] != pairs[i-1]
+	})
+}

@@ -1,0 +1,108 @@
+// Package hashtable implements a phase-concurrent hash set in the style of
+// Shun and Blelloch (SPAA'14): during an insert phase any number of workers
+// may insert concurrently with CAS-claimed linear-probe slots; reads of the
+// element set happen in a separate phase after all inserts complete.
+//
+// The connectivity algorithm uses it to remove duplicate edges between
+// contracted components: each remaining inter-component edge (u, v) is packed
+// into a uint64 and inserted; the surviving set is the deduplicated edge
+// list.
+package hashtable
+
+import (
+	"sync/atomic"
+
+	"parconn/internal/parallel"
+	"parconn/internal/prand"
+)
+
+// Empty is the reserved slot value; it may not be inserted as a key.
+const Empty = ^uint64(0)
+
+// Set is a fixed-capacity concurrent-insert hash set of uint64 keys.
+type Set struct {
+	slots []uint64
+	mask  uint64
+	count atomic.Int64
+}
+
+// NewSet returns a set able to hold at least capacity keys. The backing
+// array is sized to the next power of two above 1.5x capacity to keep probe
+// sequences short.
+func NewSet(procs, capacity int) *Set {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 16
+	for size < capacity+capacity/2 {
+		size <<= 1
+	}
+	s := &Set{slots: make([]uint64, size), mask: uint64(size - 1)}
+	parallel.Blocks(procs, size, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.slots[i] = Empty
+		}
+	})
+	return s
+}
+
+// Insert adds key to the set; it reports whether the key was newly inserted.
+// Safe for concurrent use during the insert phase. It panics if key == Empty
+// or the table fills up (the library always sizes tables to their maximum
+// possible occupancy, so a full table indicates a bug).
+func (s *Set) Insert(key uint64) bool {
+	if key == Empty {
+		panic("hashtable: cannot insert reserved Empty key")
+	}
+	i := prand.Hash64(key) & s.mask
+	for probes := uint64(0); probes <= s.mask; probes++ {
+		cur := atomic.LoadUint64(&s.slots[i])
+		if cur == key {
+			return false
+		}
+		if cur == Empty {
+			if atomic.CompareAndSwapUint64(&s.slots[i], Empty, key) {
+				s.count.Add(1)
+				return true
+			}
+			// Lost the race; re-examine the same slot (it now holds some
+			// key, possibly ours).
+			probes--
+			continue
+		}
+		i = (i + 1) & s.mask
+	}
+	panic("hashtable: table full")
+}
+
+// Contains reports whether key is in the set. It must not run concurrently
+// with Insert (phase-concurrency contract).
+func (s *Set) Contains(key uint64) bool {
+	if key == Empty {
+		return false
+	}
+	i := prand.Hash64(key) & s.mask
+	for probes := uint64(0); probes <= s.mask; probes++ {
+		cur := s.slots[i]
+		if cur == key {
+			return true
+		}
+		if cur == Empty {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+	return false
+}
+
+// Len returns the number of keys inserted so far.
+func (s *Set) Len() int { return int(s.count.Load()) }
+
+// Elements returns the set's keys in table order (arbitrary but
+// deterministic for a fixed insert set and table size... note: slot layout
+// depends on insert interleaving only when distinct keys race for one slot's
+// probe chain, so ordering may vary across runs; callers sort afterwards if
+// they need a canonical order). Must not run concurrently with Insert.
+func (s *Set) Elements(procs int) []uint64 {
+	return parallel.Pack(procs, s.slots, func(i int) bool { return s.slots[i] != Empty })
+}

@@ -1,0 +1,152 @@
+// Package intsort implements a parallel linear-work integer sort (LSD radix
+// sort), the analogue of the PBBS integer sort the paper uses during graph
+// contraction to group the remaining inter-component edges by component.
+//
+// The sort is stable, runs one counting pass per 8-bit digit, and only sorts
+// the digits that can be non-zero given the caller-supplied key width, so
+// sorting m packed edges whose endpoints fit in b bits costs O(m * ceil(2b/8))
+// work — linear for the fixed word sizes used here.
+package intsort
+
+import (
+	"parconn/internal/parallel"
+)
+
+const (
+	digitBits = 8
+	radix     = 1 << digitBits
+	digitMask = radix - 1
+)
+
+// Bits returns the number of significant bits needed to represent max
+// (at least 1).
+func Bits(max uint64) int {
+	b := 1
+	for max >= 2 {
+		max >>= 1
+		b++
+	}
+	return b
+}
+
+// SortUint64 sorts a in ascending order, treating only the low `bits` bits
+// as significant (keys must not exceed 2^bits - 1; bits <= 0 or > 64 means
+// 64). The sort is stable and parallel.
+func SortUint64(procs int, a []uint64, bits int) {
+	if bits <= 0 || bits > 64 {
+		bits = 64
+	}
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	procs = parallel.Procs(procs)
+	passes := (bits + digitBits - 1) / digitBits
+	if procs == 1 || n < 1<<14 {
+		sortSerial(a, passes)
+		return
+	}
+	buf := make([]uint64, n)
+	src, dst := a, buf
+	nblocks := procs * 4
+	if nblocks > n/1024+1 {
+		nblocks = n/1024 + 1
+	}
+	blockOf := func(b int) (int, int) {
+		return n * b / nblocks, n * (b + 1) / nblocks
+	}
+	// counts is digit-major: counts[d*nblocks + b] so one exclusive scan of
+	// the whole array yields, for every (digit, block), the first output
+	// position for that block's elements with that digit — the standard
+	// parallel stable counting-sort offset computation.
+	counts := make([]int64, radix*nblocks)
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * digitBits)
+		parallel.Fill(procs, counts, 0)
+		parallel.For(procs, nblocks, func(b int) {
+			lo, hi := blockOf(b)
+			for _, v := range src[lo:hi] {
+				d := (v >> shift) & digitMask
+				counts[int(d)*nblocks+b]++
+			}
+		})
+		parallel.ExScan(procs, counts)
+		parallel.For(procs, nblocks, func(b int) {
+			lo, hi := blockOf(b)
+			// Local cursor copy per digit to avoid re-reading counts.
+			var cur [radix]int64
+			for d := 0; d < radix; d++ {
+				cur[d] = counts[d*nblocks+b]
+			}
+			for _, v := range src[lo:hi] {
+				d := (v >> shift) & digitMask
+				dst[cur[d]] = v
+				cur[d]++
+			}
+		})
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		parallel.Copy(procs, a, buf)
+	}
+}
+
+// sortSerial is the sequential LSD radix sort used for small inputs and the
+// procs==1 path.
+func sortSerial(a []uint64, passes int) {
+	n := len(a)
+	buf := make([]uint64, n)
+	src, dst := a, buf
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * digitBits)
+		var counts [radix]int64
+		for _, v := range src {
+			counts[(v>>shift)&digitMask]++
+		}
+		var acc int64
+		for d := 0; d < radix; d++ {
+			c := counts[d]
+			counts[d] = acc
+			acc += c
+		}
+		for _, v := range src {
+			d := (v >> shift) & digitMask
+			dst[counts[d]] = v
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		copy(a, buf)
+	}
+}
+
+// SortInt32 sorts non-negative int32 values ascending using the radix sort.
+// maxVal bounds the values (pass a negative maxVal to use the full 31 bits).
+func SortInt32(procs int, a []int32, maxVal int32) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	bits := 31
+	if maxVal >= 0 {
+		bits = Bits(uint64(maxVal))
+	}
+	keys := make([]uint64, n)
+	parallel.For(procs, n, func(i int) { keys[i] = uint64(uint32(a[i])) })
+	SortUint64(procs, keys, bits)
+	parallel.For(procs, n, func(i int) { a[i] = int32(keys[i]) })
+}
+
+// UniqueSorted compacts consecutive duplicates in the sorted slice a,
+// returning the deduplicated prefix (it reuses a's storage).
+func UniqueSorted(procs int, a []uint64) []uint64 {
+	n := len(a)
+	if n <= 1 {
+		return a
+	}
+	out := parallel.Pack(procs, a, func(i int) bool {
+		return i == 0 || a[i] != a[i-1]
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package parallel
+
+// Pack returns the elements xs[i] for which keep(i) is true, preserving
+// order. It is the work-efficient "pack" (filter) primitive: a flag pass, an
+// exclusive scan over block counts, and a scatter pass.
+func Pack[T any](procs int, xs []T, keep func(i int) bool) []T {
+	n := len(xs)
+	procs = Procs(procs)
+	if procs == 1 || n < 2*DefaultGrain {
+		out := make([]T, 0, n/4+16)
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, xs[i])
+			}
+		}
+		return out
+	}
+	nblocks := procs * 4
+	blockOf := func(b int) (int, int) {
+		return n * b / nblocks, n * (b + 1) / nblocks
+	}
+	counts := make([]int, nblocks)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		c := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	total := scanSerial(counts, counts)
+	out := make([]T, total)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		k := counts[b]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[k] = xs[i]
+				k++
+			}
+		}
+	})
+	return out
+}
+
+// PackIndex returns, in order, the indices i in [0,n) for which keep(i) is
+// true, as int32 values. It is used to compact bitmap frontiers back to
+// sparse form.
+func PackIndex(procs, n int, keep func(i int) bool) []int32 {
+	procs = Procs(procs)
+	if procs == 1 || n < 2*DefaultGrain {
+		out := make([]int32, 0, 16)
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	nblocks := procs * 4
+	blockOf := func(b int) (int, int) {
+		return n * b / nblocks, n * (b + 1) / nblocks
+	}
+	counts := make([]int, nblocks)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		c := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	total := scanSerial(counts, counts)
+	out := make([]int32, total)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		k := counts[b]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[k] = int32(i)
+				k++
+			}
+		}
+	})
+	return out
+}
+
+// ConcatInto concatenates the per-worker buffers bufs into one slice,
+// preserving buffer order. It returns the concatenation.
+func ConcatInto[T any](procs int, bufs [][]T) []T {
+	offsets := make([]int, len(bufs))
+	total := 0
+	for i, b := range bufs {
+		offsets[i] = total
+		total += len(b)
+	}
+	out := make([]T, total)
+	For(procs, len(bufs), func(i int) {
+		copy(out[offsets[i]:], bufs[i])
+	})
+	return out
+}

@@ -1,0 +1,255 @@
+// Package parallel provides the fork-join primitives the rest of the library
+// is written against: blocked parallel-for, prefix sums (scan), pack/filter,
+// and reductions.
+//
+// The paper's implementation uses Cilk Plus (cilk_for / cilk_spawn); this
+// package plays the same role on goroutines. Loops are split into blocks of
+// at least a grain-size of work, blocks are claimed from an atomic counter
+// (a simple work-stealing-free scheduler that is effective for the flat,
+// regular loops used here), and every entry point takes an explicit worker
+// count so library callers can bound parallelism per call rather than
+// globally. procs <= 0 means runtime.GOMAXPROCS(0).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the minimum number of loop iterations a worker claims at a
+// time when the caller does not specify a grain. It is chosen so that the
+// per-block scheduling overhead (one atomic add + closure call) is amortized
+// over enough work for the fine-grained loops in this library.
+const DefaultGrain = 2048
+
+// Procs resolves a worker-count option: values <= 0 mean "use all available
+// parallelism" (runtime.GOMAXPROCS(0)).
+func Procs(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Blocks runs fn over disjoint subranges [lo,hi) covering [0,n) using up to
+// procs workers, with at least grain iterations per block (except the last).
+// fn must be safe to call concurrently on disjoint ranges. If grain <= 0,
+// DefaultGrain is used.
+func Blocks(procs, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	procs = Procs(procs)
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	nblocks := (n + grain - 1) / grain
+	if procs == 1 || nblocks == 1 {
+		fn(0, n)
+		return
+	}
+	if procs > nblocks {
+		procs = nblocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for w := 0; w < procs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				lo := b * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0,n) in parallel with the default grain.
+func For(procs, n int, fn func(i int)) {
+	Blocks(procs, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForGrain is For with an explicit grain size, for loops whose per-iteration
+// work is far from uniform (e.g. one iteration per frontier vertex, where a
+// vertex may have a large degree).
+func ForGrain(procs, n, grain int, fn func(i int)) {
+	Blocks(procs, n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// WorkerBlocks partitions [0,n) into exactly one contiguous chunk per worker
+// and runs fn(worker, lo, hi) for each. Unlike Blocks it guarantees that each
+// worker index appears exactly once, which callers use to maintain
+// per-worker local buffers that are later concatenated deterministically.
+// Chunks may be empty when n < workers.
+func WorkerBlocks(procs, n int, fn func(worker, lo, hi int)) {
+	procs = Procs(procs)
+	if procs == 1 || n <= 1 {
+		fn(0, 0, n)
+		for w := 1; w < procs; w++ {
+			fn(w, n, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for w := 0; w < procs; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := n * w / procs
+			hi := n * (w + 1) / procs
+			fn(w, lo, hi)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Do runs every function in fns, in parallel when procs > 1. It is the
+// cilk_spawn analogue for a small constant number of independent tasks.
+func Do(procs int, fns ...func()) {
+	if Procs(procs) == 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// Number is the constraint for the arithmetic primitives in this package.
+type Number interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64 | ~float64
+}
+
+// Fill sets every element of dst to v in parallel.
+func Fill[T any](procs int, dst []T, v T) {
+	Blocks(procs, len(dst), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// Iota fills dst with 0, 1, 2, ... in parallel.
+func Iota[T Number](procs int, dst []T) {
+	Blocks(procs, len(dst), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = T(i)
+		}
+	})
+}
+
+// Copy copies src into dst in parallel. The slices must have equal length.
+func Copy[T any](procs int, dst, src []T) {
+	if len(dst) != len(src) {
+		panic("parallel: Copy length mismatch")
+	}
+	Blocks(procs, len(src), 0, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// Sum returns the sum of xs.
+func Sum[T Number](procs int, xs []T) T {
+	return MapReduce(procs, len(xs), func(i int) T { return xs[i] })
+}
+
+// MapReduce sums f(i) over i in [0,n).
+func MapReduce[T Number](procs, n int, f func(i int) T) T {
+	procs = Procs(procs)
+	if procs == 1 || n < DefaultGrain {
+		var total T
+		for i := 0; i < n; i++ {
+			total += f(i)
+		}
+		return total
+	}
+	partial := make([]T, procs)
+	WorkerBlocks(procs, n, func(w, lo, hi int) {
+		var s T
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[w] = s
+	})
+	var total T
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// Max returns the maximum element of xs. It panics on an empty slice.
+func Max[T Number](procs int, xs []T) T {
+	if len(xs) == 0 {
+		panic("parallel: Max of empty slice")
+	}
+	procs = Procs(procs)
+	if procs == 1 || len(xs) < DefaultGrain {
+		m := xs[0]
+		for _, v := range xs[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	partial := make([]T, procs)
+	WorkerBlocks(procs, len(xs), func(w, lo, hi int) {
+		if lo >= hi {
+			partial[w] = xs[0]
+			return
+		}
+		m := xs[lo]
+		for _, v := range xs[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		partial[w] = m
+	})
+	m := partial[0]
+	for _, v := range partial[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Count returns the number of i in [0,n) for which pred(i) is true.
+func Count(procs, n int, pred func(i int) bool) int {
+	return MapReduce(procs, n, func(i int) int {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}

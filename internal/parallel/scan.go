@@ -1,0 +1,102 @@
+package parallel
+
+// scanSerial computes the exclusive prefix sum of xs into out and returns the
+// total. out may alias xs.
+func scanSerial[T Number](out, xs []T) T {
+	var acc T
+	for i, v := range xs {
+		out[i] = acc
+		acc += v
+	}
+	return acc
+}
+
+// ExScan computes the exclusive prefix sum of xs in place and returns the
+// total: afterwards xs[i] holds the sum of the original xs[0..i). This is the
+// "plus-scan" used throughout the paper's implementation for computing
+// offsets into shared arrays.
+func ExScan[T Number](procs int, xs []T) T {
+	return ExScanInto(procs, xs, xs)
+}
+
+// ExScanInto computes the exclusive prefix sum of src into dst (which may
+// alias src) and returns the total.
+func ExScanInto[T Number](procs int, dst, src []T) T {
+	n := len(src)
+	if len(dst) != n {
+		panic("parallel: ExScanInto length mismatch")
+	}
+	procs = Procs(procs)
+	if procs == 1 || n < 2*DefaultGrain {
+		return scanSerial(dst, src)
+	}
+	nblocks := procs * 4
+	if nblocks > (n+DefaultGrain-1)/DefaultGrain {
+		nblocks = (n + DefaultGrain - 1) / DefaultGrain
+	}
+	blockOf := func(b int) (int, int) {
+		return n * b / nblocks, n * (b + 1) / nblocks
+	}
+	sums := make([]T, nblocks)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		var s T
+		for _, v := range src[lo:hi] {
+			s += v
+		}
+		sums[b] = s
+	})
+	total := scanSerial(sums, sums)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		acc := sums[b]
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			dst[i] = acc
+			acc += v
+		}
+	})
+	return total
+}
+
+// InScan computes the inclusive prefix sum of xs in place: afterwards xs[i]
+// holds the sum of the original xs[0..i].
+func InScan[T Number](procs int, xs []T) T {
+	n := len(xs)
+	if n == 0 {
+		var zero T
+		return zero
+	}
+	procs = Procs(procs)
+	if procs == 1 || n < 2*DefaultGrain {
+		var acc T
+		for i, v := range xs {
+			acc += v
+			xs[i] = acc
+		}
+		return acc
+	}
+	nblocks := procs * 4
+	blockOf := func(b int) (int, int) {
+		return n * b / nblocks, n * (b + 1) / nblocks
+	}
+	sums := make([]T, nblocks)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		var s T
+		for _, v := range xs[lo:hi] {
+			s += v
+		}
+		sums[b] = s
+	})
+	total := scanSerial(sums, sums)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		acc := sums[b]
+		for i := lo; i < hi; i++ {
+			acc += xs[i]
+			xs[i] = acc
+		}
+	})
+	return total
+}

@@ -1,0 +1,21 @@
+package prand
+
+// Permutation returns a uniformly random permutation of 0..n-1 as int32
+// values, generated deterministically from seed with a Fisher-Yates shuffle.
+//
+// The paper generates this permutation in parallel; a sequential shuffle is
+// used here because it is a one-time O(n) setup cost that is a tiny fraction
+// of a connectivity run, and it keeps the permutation independent of the
+// worker count (stronger determinism than a parallel shuffle would give).
+func Permutation(n int, seed uint64) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	s := New(seed)
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

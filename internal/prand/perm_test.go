@@ -1,0 +1,63 @@
+package prand
+
+import "testing"
+
+func TestPermutationIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		p := Permutation(n, 42)
+		if len(p) != n {
+			t.Fatalf("n=%d: len=%d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n {
+				t.Fatalf("n=%d: out of range value %d", n, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: duplicate value %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	a := Permutation(500, 7)
+	b := Permutation(500, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestPermutationSeedsDiffer(t *testing.T) {
+	a := Permutation(500, 1)
+	b := Permutation(500, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	// Expect about 1 fixed coincidence; 50+ identical positions would mean
+	// the seeds are not being used.
+	if same > 50 {
+		t.Fatalf("different seeds agree on %d/500 positions", same)
+	}
+}
+
+func TestPermutationUniformFirstElement(t *testing.T) {
+	// The first element should be roughly uniform over [0,n).
+	const n, trials = 10, 20000
+	var counts [n]int
+	for s := uint64(0); s < trials; s++ {
+		counts[Permutation(n, s)[0]]++
+	}
+	want := trials / n
+	for v, c := range counts {
+		if c < want*90/100 || c > want*110/100 {
+			t.Fatalf("value %d appeared first %d times, want ~%d", v, c, want)
+		}
+	}
+}

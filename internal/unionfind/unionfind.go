@@ -1,0 +1,173 @@
+// Package unionfind provides the disjoint-set substrates behind the paper's
+// spanning-forest baselines (§5): a sequential structure with path halving
+// (serial-SF), a lock-free CAS-based concurrent structure (the
+// parallel-SF-PBBS stand-in), and a lock-based concurrent structure in the
+// style of Patwary, Refsnes, Manne (parallel-SF-PRM).
+package unionfind
+
+import "sync/atomic"
+
+// Serial is a sequential union-find with union by rank and path halving —
+// the structure inside the paper's serial-SF baseline.
+type Serial struct {
+	parent []int32
+	rank   []uint8
+}
+
+// NewSerial returns a structure over n singleton sets.
+func NewSerial(n int) *Serial {
+	s := &Serial{parent: make([]int32, n), rank: make([]uint8, n)}
+	for i := range s.parent {
+		s.parent[i] = int32(i)
+	}
+	return s
+}
+
+// Find returns the root of x's set, halving the path as it walks.
+func (s *Serial) Find(x int32) int32 {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y; it reports whether they were distinct
+// (i.e. the edge (x,y) joins the spanning forest).
+func (s *Serial) Union(x, y int32) bool {
+	rx, ry := s.Find(x), s.Find(y)
+	if rx == ry {
+		return false
+	}
+	if s.rank[rx] < s.rank[ry] {
+		rx, ry = ry, rx
+	}
+	s.parent[ry] = rx
+	if s.rank[rx] == s.rank[ry] {
+		s.rank[rx]++
+	}
+	return true
+}
+
+// Concurrent is a lock-free union-find: roots are linked by id (higher root
+// under lower) with a CAS, and Find does best-effort path halving. Any
+// number of goroutines may call Union/Find concurrently.
+type Concurrent struct {
+	parent []int32
+}
+
+// NewConcurrent returns a structure over n singleton sets.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{parent: make([]int32, n)}
+	for i := range c.parent {
+		c.parent[i] = int32(i)
+	}
+	return c
+}
+
+// Find returns the current root of x's set. Concurrent unions may change
+// the root afterwards; callers needing a stable answer must quiesce first.
+func (c *Concurrent) Find(x int32) int32 {
+	for {
+		p := atomic.LoadInt32(&c.parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadInt32(&c.parent[p])
+		if gp != p {
+			// Best-effort halving; losing the race is harmless.
+			atomic.CompareAndSwapInt32(&c.parent[x], p, gp)
+		}
+		x = p
+	}
+}
+
+// Union merges the sets of x and y, reporting whether they were distinct at
+// link time (exactly one concurrent Union of two given sets reports true).
+func (c *Concurrent) Union(x, y int32) bool {
+	for {
+		rx, ry := c.Find(x), c.Find(y)
+		if rx == ry {
+			return false
+		}
+		if rx < ry {
+			rx, ry = ry, rx
+		}
+		// rx > ry: link the higher-id root under the lower-id one. Linking
+		// by id (not rank) keeps the invariant parent[v] <= v, which makes
+		// the structure provably linearizable with plain CAS linking.
+		if atomic.CompareAndSwapInt32(&c.parent[rx], rx, ry) {
+			return true
+		}
+		// rx stopped being a root; retry with fresh roots.
+	}
+}
+
+// Locked is a lock-based concurrent union-find in the style of the
+// Patwary-Refsnes-Manne spanning-forest algorithm: a spinlock per vertex,
+// taken on the two roots in id order to avoid deadlock, with re-validation
+// after locking.
+type Locked struct {
+	parent []int32
+	rank   []uint8
+	lock   []int32 // 0 free, 1 held
+}
+
+// NewLocked returns a structure over n singleton sets.
+func NewLocked(n int) *Locked {
+	l := &Locked{parent: make([]int32, n), rank: make([]uint8, n), lock: make([]int32, n)}
+	for i := range l.parent {
+		l.parent[i] = int32(i)
+	}
+	return l
+}
+
+func (l *Locked) acquire(v int32) {
+	for !atomic.CompareAndSwapInt32(&l.lock[v], 0, 1) {
+	}
+}
+
+func (l *Locked) release(v int32) { atomic.StoreInt32(&l.lock[v], 0) }
+
+// Find returns the current root of x's set (no compression under
+// concurrency; compression happens inside Union under locks).
+func (l *Locked) Find(x int32) int32 {
+	for {
+		p := atomic.LoadInt32(&l.parent[x])
+		if p == x {
+			return x
+		}
+		x = p
+	}
+}
+
+// Union merges the sets of x and y, reporting whether they were distinct.
+func (l *Locked) Union(x, y int32) bool {
+	for {
+		rx, ry := l.Find(x), l.Find(y)
+		if rx == ry {
+			return false
+		}
+		a, b := rx, ry
+		if a > b {
+			a, b = b, a
+		}
+		l.acquire(a)
+		l.acquire(b)
+		// Re-validate: both must still be roots, else retry.
+		if atomic.LoadInt32(&l.parent[rx]) == rx && atomic.LoadInt32(&l.parent[ry]) == ry {
+			if l.rank[rx] < l.rank[ry] {
+				rx, ry = ry, rx
+			}
+			atomic.StoreInt32(&l.parent[ry], rx)
+			if l.rank[rx] == l.rank[ry] {
+				l.rank[rx]++
+			}
+			l.release(b)
+			l.release(a)
+			return true
+		}
+		l.release(b)
+		l.release(a)
+	}
+}

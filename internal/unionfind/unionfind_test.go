@@ -1,0 +1,224 @@
+package unionfind
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parconn/internal/prand"
+)
+
+// uf is the common interface of the three structures, for table tests.
+type uf interface {
+	Find(int32) int32
+	Union(int32, int32) bool
+}
+
+func structures(n int) map[string]uf {
+	return map[string]uf{
+		"serial":     NewSerial(n),
+		"concurrent": NewConcurrent(n),
+		"locked":     NewLocked(n),
+	}
+}
+
+func TestBasicUnionFind(t *testing.T) {
+	for name, u := range structures(10) {
+		if u.Find(3) != 3 {
+			t.Fatalf("%s: fresh Find(3) != 3", name)
+		}
+		if !u.Union(1, 2) {
+			t.Fatalf("%s: first Union(1,2) reported duplicate", name)
+		}
+		if u.Union(1, 2) || u.Union(2, 1) {
+			t.Fatalf("%s: repeated union reported new", name)
+		}
+		if u.Find(1) != u.Find(2) {
+			t.Fatalf("%s: 1 and 2 not merged", name)
+		}
+		if u.Find(1) == u.Find(3) {
+			t.Fatalf("%s: 3 wrongly merged", name)
+		}
+		if !u.Union(2, 3) {
+			t.Fatalf("%s: Union(2,3) reported duplicate", name)
+		}
+		if u.Find(3) != u.Find(1) {
+			t.Fatalf("%s: transitive merge failed", name)
+		}
+	}
+}
+
+func TestChainsAndSelfUnion(t *testing.T) {
+	for name, u := range structures(1000) {
+		if u.Union(5, 5) {
+			t.Fatalf("%s: self-union reported new", name)
+		}
+		for i := int32(0); i < 999; i++ {
+			u.Union(i, i+1)
+		}
+		root := u.Find(0)
+		for i := int32(0); i < 1000; i++ {
+			if u.Find(i) != root {
+				t.Fatalf("%s: chain not fully merged at %d", name, i)
+			}
+		}
+	}
+}
+
+// refPartition computes the expected partition with a simple map-based DSU.
+func refPartition(n int, ops [][2]int32) []int32 {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, op := range ops {
+		parent[find(op[0])] = find(op[1])
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = find(int32(i))
+	}
+	return out
+}
+
+func samePartition(a, b []int32) bool {
+	fwd := map[int32]int32{}
+	bwd := map[int32]int32{}
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := bwd[b[i]]; ok && m != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestRandomOpsMatchReference(t *testing.T) {
+	src := prand.New(1)
+	const n = 500
+	for trial := 0; trial < 20; trial++ {
+		ops := make([][2]int32, 300)
+		for i := range ops {
+			ops[i] = [2]int32{src.Int31n(n), src.Int31n(n)}
+		}
+		want := refPartition(n, ops)
+		for name, u := range structures(n) {
+			for _, op := range ops {
+				u.Union(op[0], op[1])
+			}
+			got := make([]int32, n)
+			for i := range got {
+				got[i] = u.Find(int32(i))
+			}
+			if !samePartition(want, got) {
+				t.Fatalf("%s: partition mismatch on trial %d", name, trial)
+			}
+		}
+	}
+}
+
+func TestQuickRandomOps(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 64
+		ops := make([][2]int32, len(pairs))
+		for i, p := range pairs {
+			ops[i] = [2]int32{int32(p % n), int32((p >> 8) % n)}
+		}
+		want := refPartition(n, ops)
+		for _, u := range structures(n) {
+			for _, op := range ops {
+				u.Union(op[0], op[1])
+			}
+			got := make([]int32, n)
+			for i := range got {
+				got[i] = u.Find(int32(i))
+			}
+			if !samePartition(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// Hammer concurrent structures from many goroutines; afterwards the
+	// partition must match the sequential result, and the number of
+	// successful unions must equal n - #components (spanning-forest size).
+	const n = 20000
+	const workers = 8
+	src := prand.New(2)
+	ops := make([][2]int32, 60000)
+	for i := range ops {
+		ops[i] = [2]int32{src.Int31n(n), src.Int31n(n)}
+	}
+	want := refPartition(n, ops)
+	comps := map[int32]bool{}
+	for _, r := range want {
+		comps[r] = true
+	}
+	wantTreeEdges := n - len(comps)
+
+	for name, u := range map[string]uf{"concurrent": NewConcurrent(n), "locked": NewLocked(n)} {
+		var wg sync.WaitGroup
+		newCounts := make([]int, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c := 0
+				for i := w; i < len(ops); i += workers {
+					if u.Union(ops[i][0], ops[i][1]) {
+						c++
+					}
+				}
+				newCounts[w] = c
+			}(w)
+		}
+		wg.Wait()
+		total := 0
+		for _, c := range newCounts {
+			total += c
+		}
+		if total != wantTreeEdges {
+			t.Fatalf("%s: %d successful unions, want %d", name, total, wantTreeEdges)
+		}
+		got := make([]int32, n)
+		for i := range got {
+			got[i] = u.Find(int32(i))
+		}
+		if !samePartition(want, got) {
+			t.Fatalf("%s: concurrent partition mismatch", name)
+		}
+	}
+}
+
+func BenchmarkSerialUnion1M(b *testing.B) {
+	const n = 1 << 20
+	src := prand.New(3)
+	ops := make([][2]int32, n)
+	for i := range ops {
+		ops[i] = [2]int32{src.Int31n(n), src.Int31n(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NewSerial(n)
+		for _, op := range ops {
+			u.Union(op[0], op[1])
+		}
+	}
+}

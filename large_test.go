@@ -1,0 +1,46 @@
+package parconn
+
+import (
+	"testing"
+
+	"parconn/internal/graph"
+)
+
+// TestLargeScale drives the full stack at a million-edge scale — closer to
+// the benchmark regime than the unit tests — and cross-checks every
+// algorithm family. Skipped under -short.
+func TestLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test")
+	}
+	g := Union(
+		RandomGraph(200_000, 5, 1),
+		RMatGraph(16, RMatOptions{EdgeFactor: 5, Seed: 2, KeepDuplicates: true}),
+		LineGraph(100_000, 3),
+	)
+	ref := graph.RefCC(g.g)
+	for _, alg := range Algorithms {
+		labels, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !graph.SamePartition(ref, labels) {
+			t.Fatalf("%v: partition mismatch at scale", alg)
+		}
+	}
+	if err := VerifyLabeling(g, ref); err != nil {
+		t.Fatal(err)
+	}
+	// Spanner at scale.
+	edges, err := Spanner(g, SpannerOptions{Beta: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewGraph(g.NumVertices(), edges, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SamePartition(ref, graph.RefCC(sub.g)) {
+		t.Fatal("spanner changed connectivity at scale")
+	}
+}

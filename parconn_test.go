@@ -1,0 +1,232 @@
+package parconn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewGraphBasics(t *testing.T) {
+	g, err := NewGraph(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("wrong degrees")
+	}
+	if len(g.Neighbors(0)) != 1 || g.Neighbors(0)[0] != 1 {
+		t.Fatalf("Neighbors(0)=%v", g.Neighbors(0))
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree=%d", g.MaxDegree())
+	}
+	if !strings.Contains(g.String(), "n=4") {
+		t.Fatalf("String()=%q", g.String())
+	}
+}
+
+func TestNewGraphErrors(t *testing.T) {
+	if _, err := NewGraph(-1, nil, BuildOptions{}); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := NewGraph(2, []Edge{{U: 0, V: 5}}, BuildOptions{}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := NewGraph(2, []Edge{{U: -1, V: 0}}, BuildOptions{}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+func TestNewGraphDuplicates(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 1}}
+	dedup, err := NewGraph(2, edges, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup.NumEdges() != 1 {
+		t.Fatalf("dedup m=%d", dedup.NumEdges())
+	}
+	kept, err := NewGraph(2, edges, BuildOptions{KeepDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.NumEdges() != 3 {
+		t.Fatalf("kept m=%d", kept.NumEdges())
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := RMatGraph(8, RMatOptions{EdgeFactor: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed shape")
+	}
+	if _, err := ReadGraph(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Asymmetric input must be rejected at load time.
+	asym := "AdjacencyGraph\n2\n1\n0\n1\n1\n"
+	if _, err := ReadGraph(strings.NewReader(asym)); err == nil {
+		t.Fatal("asymmetric graph accepted")
+	}
+}
+
+func TestGeneratorsShape(t *testing.T) {
+	if g := RandomGraph(1000, 5, 1); g.NumVertices() != 1000 || g.NumEdges() < 4900 {
+		t.Fatalf("random: %v", g)
+	}
+	if g := Grid3DGraph(5, 1); g.NumVertices() != 125 || g.NumEdges() != 375 {
+		t.Fatalf("grid: %v", g)
+	}
+	if g := LineGraph(100, 1); g.NumEdges() != 99 {
+		t.Fatalf("line: %v", g)
+	}
+	if g := StarGraph(10); g.MaxDegree() != 9 {
+		t.Fatalf("star: %v", g)
+	}
+	if g := SocialGraph(9, 1); float64(g.NumEdges())/float64(g.NumVertices()) < 10 {
+		t.Fatalf("social not dense: %v", g)
+	}
+}
+
+func TestUnionGraphs(t *testing.T) {
+	g := Union(LineGraph(10, 1), StarGraph(5), LineGraph(3, 2))
+	if g.NumVertices() != 18 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	labels, err := ConnectedComponents(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumComponents(labels) != 3 {
+		t.Fatalf("components=%d want 3", NumComponents(labels))
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	want := map[Algorithm]string{
+		DecompArbHybrid:  "decomp-arb-hybrid-CC",
+		DecompArb:        "decomp-arb-CC",
+		DecompMin:        "decomp-min-CC",
+		SerialSF:         "serial-SF",
+		ParallelSFPBBS:   "parallel-SF-PBBS",
+		ParallelSFPRM:    "parallel-SF-PRM",
+		HybridBFS:        "hybrid-BFS-CC",
+		Multistep:        "multistep-CC",
+		LabelProp:        "labelprop-CC",
+		ShiloachVishkin:  "sv-CC",
+		RandomMate:       "randmate-CC",
+		ParallelSFVerify: "parallel-SF-verify",
+		SampledSF:        "sampled-SF",
+		LDDUnionFind:     "ldd-uf-CC",
+	}
+	if len(Algorithms) != len(want) {
+		t.Fatalf("Algorithms has %d entries, want %d", len(Algorithms), len(want))
+	}
+	for a, name := range want {
+		if a.String() != name {
+			t.Fatalf("%d.String()=%q want %q", int(a), a.String(), name)
+		}
+		back, err := ParseAlgorithm(name)
+		if err != nil || back != a {
+			t.Fatalf("ParseAlgorithm(%q)=%v,%v", name, back, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Fatal("unknown name parsed")
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm empty name")
+	}
+}
+
+func TestConnectedComponentsErrors(t *testing.T) {
+	g := LineGraph(10, 1)
+	if _, err := ConnectedComponents(g, Options{Algorithm: Algorithm(99)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := ConnectedComponents(g, Options{Beta: 7}); err == nil {
+		t.Fatal("bad beta accepted")
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	labels := []int32{5, 5, 9, 5, 9}
+	if NumComponents(labels) != 2 {
+		t.Fatal("NumComponents")
+	}
+	sizes := ComponentSizes(labels)
+	if sizes[5] != 3 || sizes[9] != 2 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+	compact, k := CompactLabels(labels)
+	if k != 2 {
+		t.Fatalf("k=%d", k)
+	}
+	wantCompact := []int32{0, 0, 1, 0, 1}
+	for i := range wantCompact {
+		if compact[i] != wantCompact[i] {
+			t.Fatalf("compact=%v", compact)
+		}
+	}
+	if !SameComponent(labels, 0, 3) || SameComponent(labels, 0, 2) {
+		t.Fatal("SameComponent")
+	}
+}
+
+func TestSpanningForestPublic(t *testing.T) {
+	g := Union(LineGraph(100, 1), Grid3DGraph(4, 2))
+	forest := SpanningForest(g, 0)
+	labels, err := ConnectedComponents(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.NumVertices() - NumComponents(labels)
+	if len(forest) != want {
+		t.Fatalf("forest edges=%d want %d", len(forest), want)
+	}
+}
+
+func TestDecomposePublic(t *testing.T) {
+	g := RandomGraph(5000, 5, 3)
+	d, err := Decompose(g, DecompOptions{Beta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Labels) != g.NumVertices() {
+		t.Fatal("labels length")
+	}
+	if d.NumPartitions < 1 || d.Rounds < 1 {
+		t.Fatalf("degenerate decomposition: %+v", d)
+	}
+	if d.CutEdges < 0 || d.CutEdges > 2*g.NumEdges() {
+		t.Fatalf("cut=%d", d.CutEdges)
+	}
+	// Input graph must be untouched: rerun and compare.
+	d2, err := Decompose(g, DecompOptions{Beta: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumPartitions != d.NumPartitions || d2.CutEdges != d.CutEdges {
+		t.Fatal("Decompose not reproducible on the same input")
+	}
+	if _, err := Decompose(g, DecompOptions{Algorithm: SerialSF}); err == nil {
+		t.Fatal("non-decomposition algorithm accepted")
+	}
+}
+
+func TestProcsHelper(t *testing.T) {
+	if Procs(3) != 3 || Procs(0) < 1 {
+		t.Fatal("Procs")
+	}
+}

@@ -1,0 +1,128 @@
+package parconn
+
+import (
+	"math"
+	"testing"
+
+	"parconn/internal/graph"
+	"parconn/internal/prand"
+)
+
+// buildSub materializes a spanner edge list as a Graph for distance checks.
+func buildSub(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	sub, err := NewGraph(n, edges, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func TestSpannerPreservesConnectivity(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"random":     RandomGraph(3000, 5, 1),
+		"grid3d":     Grid3DGraph(10, 2),
+		"line":       LineGraph(2000, 3),
+		"rmat":       RMatGraph(10, RMatOptions{EdgeFactor: 6, Seed: 4}),
+		"many-comps": Union(LineGraph(100, 5), Grid2DGraph(7, 6), mustGraph(10, nil)),
+	} {
+		for _, beta := range []float64{0.05, 0.2, 0.5} {
+			edges, err := Spanner(g, SpannerOptions{Beta: beta, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s/beta=%v: %v", name, beta, err)
+			}
+			// Subset check: every spanner edge must exist in g.
+			for _, e := range edges {
+				found := false
+				for _, u := range g.Neighbors(e.U) {
+					if u == e.V {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: spanner edge (%d,%d) not in graph", name, e.U, e.V)
+				}
+			}
+			sub := buildSub(t, g.NumVertices(), edges)
+			want := graph.RefCC(g.g)
+			got := graph.RefCC(sub.g)
+			if !graph.SamePartition(want, got) {
+				t.Fatalf("%s/beta=%v: spanner changed connectivity", name, beta)
+			}
+		}
+	}
+}
+
+func TestSpannerSizeBound(t *testing.T) {
+	// Expected size: n - 1 + 2*beta*m representative edges; allow 2x slack
+	// over the bound on the concentrated line/grid inputs.
+	for name, g := range map[string]*Graph{
+		"line":   LineGraph(20000, 1),
+		"grid3d": Grid3DGraph(20, 2),
+	} {
+		const beta = 0.1
+		edges, err := Spanner(g, SpannerOptions{Beta: beta, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := float64(g.NumVertices()) + 2*2*beta*float64(g.NumEdges())
+		if float64(len(edges)) > bound {
+			t.Fatalf("%s: %d spanner edges exceeds 2x expected bound %.0f", name, len(edges), bound)
+		}
+	}
+}
+
+func TestSpannerStretchBound(t *testing.T) {
+	// Sampled pairs: spanner distance <= (2*rounds+1) * graph distance.
+	g := Grid3DGraph(12, 5)
+	const beta = 0.2
+	edges, err := Spanner(g, SpannerOptions{Beta: beta, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := buildSub(t, g.NumVertices(), edges)
+	// The radius is bounded by the decomposition's round count; bound it
+	// generously by 4*ln(n)/beta + 20 as in the decomposition tests.
+	n := float64(g.NumVertices())
+	maxStretch := 2*(4*math.Log(n)/beta+20) + 1
+	src := prand.New(1)
+	for trial := 0; trial < 5; trial++ {
+		s := int32(src.Intn(g.NumVertices()))
+		dg, err := BFS(g, s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := BFS(sub, s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range dg.Dist {
+			if dg.Dist[v] < 0 {
+				if ds.Dist[v] >= 0 {
+					t.Fatal("spanner connects unconnected vertices")
+				}
+				continue
+			}
+			if ds.Dist[v] < 0 {
+				t.Fatalf("vertex %d unreachable in spanner", v)
+			}
+			if float64(ds.Dist[v]) > maxStretch*math.Max(1, float64(dg.Dist[v])) {
+				t.Fatalf("stretch at %d: %d vs %d exceeds %.0f", v, ds.Dist[v], dg.Dist[v], maxStretch)
+			}
+		}
+	}
+}
+
+func TestSpannerEmptyAndTiny(t *testing.T) {
+	if edges, err := Spanner(mustGraph(0, nil), SpannerOptions{}); err != nil || len(edges) != 0 {
+		t.Fatal("empty graph")
+	}
+	if edges, err := Spanner(mustGraph(5, nil), SpannerOptions{}); err != nil || len(edges) != 0 {
+		t.Fatal("isolated vertices need no edges")
+	}
+	edges, err := Spanner(mustGraph(2, []Edge{{U: 0, V: 1}}), SpannerOptions{})
+	if err != nil || len(edges) != 1 {
+		t.Fatalf("single edge: %v %v", edges, err)
+	}
+}

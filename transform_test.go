@@ -1,0 +1,68 @@
+package parconn
+
+import (
+	"testing"
+
+	"parconn/internal/graph"
+)
+
+func TestPublicTransforms(t *testing.T) {
+	g := Union(LineGraph(20, 1), Grid2DGraph(5, 2))
+	labels, err := ConnectedComponents(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, orig := LargestComponent(g, labels, 0)
+	if big.NumVertices() != 25 {
+		t.Fatalf("largest component has %d vertices, want 25", big.NumVertices())
+	}
+	if len(orig) != 25 {
+		t.Fatal("orig mapping length")
+	}
+	keep := make([]bool, g.NumVertices())
+	for i := 0; i < 20; i++ {
+		keep[i] = true
+	}
+	sub, _ := InducedSubgraph(g, keep, 0)
+	if sub.NumVertices() != 20 || sub.NumEdges() != 19 {
+		t.Fatalf("induced: n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+}
+
+// TestCCOnExtendedFamilies runs every algorithm on the extra generator
+// families (trees, torus, clique chains, preferential attachment).
+func TestCCOnExtendedFamilies(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"grid2d":      Grid2DGraph(20, 1),
+		"tree":        TreeGraph(1023, 2),
+		"cliquechain": CliqueChainGraph(10, 8, 3),
+		"prefattach":  PreferentialAttachmentGraph(1500, 3, 4),
+		"two-trees":   Union(TreeGraph(255, 5), TreeGraph(127, 6)),
+	} {
+		ref := graph.RefCC(g.g)
+		for _, alg := range Algorithms {
+			labels, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: 5})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, alg, err)
+			}
+			if !graph.SamePartition(ref, labels) {
+				t.Fatalf("%s/%v: partition mismatch", name, alg)
+			}
+		}
+	}
+}
+
+// TestEdgeParallelPublicOption exercises Options.EdgeParallel end to end.
+func TestEdgeParallelPublicOption(t *testing.T) {
+	g := StarGraph(5000)
+	ref := graph.RefCC(g.g)
+	for _, thr := range []int{0, 16, 1024} {
+		labels, err := ConnectedComponents(g, Options{Algorithm: DecompArb, EdgeParallel: thr, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.SamePartition(ref, labels) {
+			t.Fatalf("threshold=%d: mismatch", thr)
+		}
+	}
+}

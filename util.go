@@ -1,0 +1,96 @@
+package parconn
+
+import (
+	"io"
+
+	"parconn/internal/graph"
+	"parconn/internal/unionfind"
+)
+
+// VerifyLabeling checks in O(n + m) that labels is a correct canonical
+// connected-components labeling of g, returning a descriptive error for the
+// first violation found. Downstream systems can use it to validate labels
+// produced elsewhere (or to test this library against themselves).
+func VerifyLabeling(g *Graph, labels []int32) error {
+	return graph.VerifyLabeling(g.g, labels)
+}
+
+// Stats summarizes a graph's structure; see Summarize.
+type Stats = graph.Stats
+
+// Summarize computes structural statistics of g: degree distribution
+// summary, component counts, and a double-sweep diameter lower bound.
+// Intended for reporting, not hot paths.
+func Summarize(g *Graph, seed uint64) Stats {
+	return graph.Summarize(g.g, seed)
+}
+
+// WriteBinary serializes g in the library's compact binary format (magic
+// "PCONNGR1"), which loads much faster than the text format for large
+// graphs.
+func (g *Graph) WriteBinary(w io.Writer) error { return g.g.WriteBinary(w) }
+
+// ReadBinaryGraph parses a graph in the binary format written by
+// WriteBinary.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) {
+	gg, err := graph.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: gg}, nil
+}
+
+// UnionFind is an incremental connectivity structure over a fixed vertex
+// set: insert edges with Union and query with Find/Connected at any point.
+// It is safe for concurrent use and is the structure behind the library's
+// spanning-forest baselines (lock-free linking with CAS, path halving).
+//
+// For a static graph, ConnectedComponents is faster; UnionFind is for
+// streaming / incremental settings.
+type UnionFind struct {
+	u *unionfind.Concurrent
+	n int
+}
+
+// NewUnionFind returns a structure over n isolated vertices.
+func NewUnionFind(n int) *UnionFind {
+	return &UnionFind{u: unionfind.NewConcurrent(n), n: n}
+}
+
+// Union connects u and v; it reports whether they were previously in
+// different components.
+func (s *UnionFind) Union(u, v int32) bool { return s.u.Union(u, v) }
+
+// Find returns the current canonical vertex of v's component. Canonical
+// vertices may change as edges are inserted.
+func (s *UnionFind) Find(v int32) int32 { return s.u.Find(v) }
+
+// Connected reports whether u and v are currently in the same component.
+// Under concurrent Union calls the answer reflects some linearization.
+func (s *UnionFind) Connected(u, v int32) bool { return s.u.Find(u) == s.u.Find(v) }
+
+// Labels materializes the current components as a canonical labeling. It
+// must not run concurrently with Union.
+func (s *UnionFind) Labels() []int32 {
+	labels := make([]int32, s.n)
+	for v := range labels {
+		labels[v] = s.u.Find(int32(v))
+	}
+	return labels
+}
+
+// ReadEdgeList parses a SNAP-style whitespace-separated edge list ('#'/'%'
+// comments allowed), compacting arbitrary vertex ids to [0, n) — the format
+// the paper's com-Orkut input ships in. The graph is symmetrized and
+// deduplicated.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	gg, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: gg}, nil
+}
+
+// WriteEdgeList writes g as a SNAP-style edge list (each undirected edge
+// once).
+func (g *Graph) WriteEdgeList(w io.Writer) error { return g.g.WriteEdgeList(w) }

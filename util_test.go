@@ -1,0 +1,93 @@
+package parconn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestVerifyLabelingPublic(t *testing.T) {
+	g := Union(LineGraph(50, 1), Grid3DGraph(3, 2))
+	for _, alg := range Algorithms {
+		labels, err := ConnectedComponents(g, Options{Algorithm: alg, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyLabeling(g, labels); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+	bad := make([]int32, g.NumVertices())
+	if VerifyLabeling(g, bad) == nil {
+		t.Fatal("all-zero labeling accepted on a disconnected graph")
+	}
+}
+
+func TestSummarizePublic(t *testing.T) {
+	s := Summarize(LineGraph(100, 1), 1)
+	if s.Components != 1 || s.ApproxDiameter != 99 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestBinaryGraphPublic(t *testing.T) {
+	g := RMatGraph(8, RMatOptions{EdgeFactor: 4, Seed: 1})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip changed edge count")
+	}
+	if _, err := ReadBinaryGraph(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestUnionFindPublic(t *testing.T) {
+	uf := NewUnionFind(6)
+	if uf.Connected(0, 1) {
+		t.Fatal("fresh vertices connected")
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("unions reported duplicate")
+	}
+	if uf.Union(0, 2) {
+		t.Fatal("redundant union reported new")
+	}
+	if !uf.Connected(0, 2) || uf.Connected(0, 3) {
+		t.Fatal("connectivity wrong")
+	}
+	if uf.Find(0) != uf.Find(2) {
+		t.Fatal("find mismatch")
+	}
+	labels := uf.Labels()
+	if labels[0] != labels[2] || labels[0] == labels[3] {
+		t.Fatalf("labels=%v", labels)
+	}
+	// Streaming equivalence: inserting a graph's edges must reproduce
+	// ConnectedComponents' partition.
+	g := Union(LineGraph(40, 1), StarGraph(10))
+	uf2 := NewUnionFind(g.NumVertices())
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if w > v {
+				uf2.Union(v, w)
+			}
+		}
+	}
+	want, err := ConnectedComponents(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := uf2.Labels()
+	if NumComponents(got) != NumComponents(want) {
+		t.Fatal("streaming union-find disagrees")
+	}
+	if err := VerifyLabeling(g, got); err != nil {
+		t.Fatal(err)
+	}
+}
