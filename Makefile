@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt repro repro-quick examples clean
+.PHONY: all build test race race-short bench vet check fmt fmt-check repro repro-quick examples clean
 
-all: vet test build
+all: check test build
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,28 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The CI-sized race lane: -short trims the exhaustive/zoo suites to keep
+# the race detector's ~10x slowdown affordable.
+race-short:
+	$(GO) test -race -short ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/parconnvet ./...
+
+# Everything that must pass before a change lands: formatting, go vet, and
+# the repository's own static analyses (see DESIGN.md "Correctness tooling").
+check: fmt-check vet
 
 fmt:
 	gofmt -w $$(find . -name '*.go' -not -path './results_csv/*')
+
+fmt-check:
+	@out=$$(gofmt -l $$(find . -name '*.go' -not -path './results_csv/*')); \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 repro:

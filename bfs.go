@@ -77,6 +77,7 @@ func bfsLevelParallel(g *Graph, res *BFSResult, cur, nxt []int32, d int32, procs
 			for _, w := range g.Neighbors(v) {
 				if cursor.claim(res.Dist, w, d) {
 					res.Parent[w] = v
+					//parconn:allow sharedwrite cursor.next reserves a unique slot via atomic add, so no two workers share an index
 					nxt[cursor.next()] = w
 				}
 			}

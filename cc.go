@@ -309,6 +309,7 @@ func CompactLabels(labels []int32) ([]int32, int) {
 	for i, l := range labels {
 		id, ok := remap[l]
 		if !ok {
+			//parconn:allow conversioncheck len(remap) <= len(labels) and vertex ids are int32, so the map can never exceed 2^31 entries
 			id = int32(len(remap))
 			remap[l] = id
 		}

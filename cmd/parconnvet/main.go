@@ -1,0 +1,142 @@
+// Command parconnvet runs this repository's concurrency-safety static
+// analyses over the module: mixedatomic, sharedwrite, norand, and
+// conversioncheck (see internal/analysis and DESIGN.md §"Correctness
+// tooling"). It is stdlib-only and wired into `make vet` / `make check`.
+//
+// Usage:
+//
+//	parconnvet [-v] [packages]
+//
+// With no arguments (or "./..."), every package of the enclosing module is
+// analyzed. Arguments select packages by import path or directory, with a
+// trailing /... matching subtrees. Findings print one per line as
+//
+//	file:line:col: [check] message
+//
+// and the exit status is 1 when any unsuppressed finding exists, 2 on load
+// errors, 0 otherwise. Intentional idioms are suppressed in source with
+// `//parconn:allow <check> <reason>` comments; -v lists what was
+// suppressed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"parconn/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also list suppressed findings and per-package stats")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: parconnvet [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args(), *verbose))
+}
+
+func run(args []string, verbose bool) int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parconnvet:", err)
+		return 2
+	}
+	passes, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parconnvet:", err)
+		return 2
+	}
+
+	var active, suppressed []analysis.Finding
+	analyzed := 0
+	for _, pass := range passes {
+		if !selected(pass.Path, args) {
+			continue
+		}
+		analyzed++
+		findings := analysis.CheckAllows(pass)
+		for _, a := range analysis.All() {
+			findings = append(findings, a.Run(pass)...)
+		}
+		act, sup := analysis.Apply(pass, findings)
+		active = append(active, act...)
+		suppressed = append(suppressed, sup...)
+	}
+	if analyzed == 0 {
+		fmt.Fprintf(os.Stderr, "parconnvet: no packages match %v\n", args)
+		return 2
+	}
+
+	analysis.SortFindings(active)
+	for _, f := range active {
+		fmt.Println(relativize(root, f))
+	}
+	if verbose {
+		analysis.SortFindings(suppressed)
+		for _, f := range suppressed {
+			fmt.Printf("suppressed: %s\n", relativize(root, f))
+		}
+		fmt.Fprintf(os.Stderr, "parconnvet: %d packages, %d findings, %d suppressed\n",
+			analyzed, len(active), len(suppressed))
+	}
+	if len(active) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selected reports whether the package path matches any of the argument
+// patterns. No arguments and "./..." both mean "everything".
+func selected(path string, args []string) bool {
+	if len(args) == 0 {
+		return true
+	}
+	for _, arg := range args {
+		pat := strings.TrimPrefix(filepath.ToSlash(arg), "./")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == sub || strings.HasSuffix(path, "/"+sub) ||
+				strings.Contains(path+"/", "/"+sub+"/") {
+				return true
+			}
+			continue
+		}
+		if path == pat || strings.HasSuffix(path, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// relativize shortens finding paths relative to the module root for
+// stable, readable output.
+func relativize(root string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// TestRepoIsClean runs the full analysis over the module, as `make vet`
+// does, and demands a clean bill: any new finding must either be fixed or
+// carry a //parconn:allow comment with a justification.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	if code := run(nil, false); code != 0 {
+		t.Fatalf("parconnvet over the module exited %d, want 0 (run `go run ./cmd/parconnvet -v ./...` for details)", code)
+	}
+}
+
+func TestSelected(t *testing.T) {
+	cases := []struct {
+		path string
+		args []string
+		want bool
+	}{
+		{"parconn/internal/decomp", nil, true},
+		{"parconn/internal/decomp", []string{"./..."}, true},
+		{"parconn/internal/decomp", []string{"./internal/decomp"}, true},
+		{"parconn/internal/decomp", []string{"internal/decomp"}, true},
+		{"parconn/internal/decomp", []string{"decomp"}, true},
+		{"parconn/internal/decomp", []string{"./internal/..."}, true},
+		{"parconn/internal/decomp", []string{"graph"}, false},
+		{"parconn", []string{"./..."}, true},
+		{"parconn", []string{"internal/decomp"}, false},
+		{"parconn/cmd/parconnvet", []string{"cmd/..."}, true},
+	}
+	for _, c := range cases {
+		if got := selected(c.path, c.args); got != c.want {
+			t.Errorf("selected(%q, %v) = %v, want %v", c.path, c.args, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata fixture package against the real
+// module (so fixtures can import internal/parallel).
+func loadFixture(t *testing.T, name string) *Pass {
+	t.Helper()
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := LoadFixture(modRoot, filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pass
+}
+
+func analyzerNamed(t *testing.T, name string) Analyzer {
+	t.Helper()
+	for _, a := range All() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+var wantRE = regexp.MustCompile(`// want (".*")`)
+var quotedRE = regexp.MustCompile(`"([^"]*)"`)
+
+// wantsIn extracts the `// want "substr" ...` expectations of a fixture,
+// keyed by file:line.
+func wantsIn(pass *Pass) map[string][]string {
+	wants := make(map[string][]string)
+	for _, file := range pass.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					wants[key] = append(wants[key], q[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(file string, line int) string {
+	return filepath.Base(file) + ":" + strings.Repeat("", 0) + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestAnalyzerFixtures runs each check over its fixture package and demands
+// an exact match between findings and `want` comments: every expectation
+// observed, no extra findings.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, name := range []string{"mixedatomic", "sharedwrite", "norand", "conversioncheck"} {
+		t.Run(name, func(t *testing.T) {
+			pass := loadFixture(t, name)
+			findings, _ := Apply(pass, analyzerNamed(t, name).Run(pass))
+			wants := wantsIn(pass)
+			matched := make(map[string]bool)
+			for _, f := range findings {
+				key := posKey(f.Pos.Filename, f.Pos.Line)
+				subs, ok := wants[key]
+				if !ok {
+					t.Errorf("unexpected finding: %s", f)
+					continue
+				}
+				found := false
+				for _, sub := range subs {
+					if strings.Contains(f.Message, sub) {
+						found = true
+						matched[key] = true
+					}
+				}
+				if !found {
+					t.Errorf("finding %s matches none of %q", f, subs)
+				}
+			}
+			for key := range wants {
+				if !matched[key] {
+					t.Errorf("want at %s produced no finding", key)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppression checks that //parconn:allow comments move findings from
+// the active to the suppressed set — inline, above-line, and multi-check
+// forms.
+func TestSuppression(t *testing.T) {
+	pass := loadFixture(t, "suppress")
+	var findings []Finding
+	for _, a := range All() {
+		findings = append(findings, a.Run(pass)...)
+	}
+	if len(findings) == 0 {
+		t.Fatal("suppress fixture produced no raw findings; fixture is stale")
+	}
+	active, suppressed := Apply(pass, findings)
+	for _, f := range active {
+		t.Errorf("finding escaped suppression: %s", f)
+	}
+	if len(suppressed) < 4 {
+		t.Errorf("suppressed %d findings, want at least 4", len(suppressed))
+	}
+	if fs := CheckAllows(pass); len(fs) != 0 {
+		t.Errorf("well-formed allow comments flagged: %v", fs)
+	}
+}
+
+// TestMalformedAllows checks that suppression comments with a missing
+// reason or an unknown check name are themselves reported.
+func TestMalformedAllows(t *testing.T) {
+	pass := loadFixture(t, "badallow")
+	findings := CheckAllows(pass)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "reason") {
+		t.Errorf("first finding should demand a reason: %s", findings[0])
+	}
+	if !strings.Contains(findings[1].Message, "unknown check") {
+		t.Errorf("second finding should reject the unknown check: %s", findings[1])
+	}
+}
+
+// TestIsLibrary pins the package classification driving norand.
+func TestIsLibrary(t *testing.T) {
+	cases := map[string]bool{
+		"parconn":                     true,
+		"parconn/internal/decomp":     true,
+		"parconn/internal/analysis":   true,
+		"parconn/internal/bench":      false,
+		"parconn/cmd/parconnvet":      false,
+		"parconn/cmd/bench":           false,
+		"parconn/examples/quickstart": false,
+	}
+	for path, want := range cases {
+		if got := isLibrary("parconn", path); got != want {
+			t.Errorf("isLibrary(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// conversionCheck flags int/int64 -> int32 conversions of count-like
+// expressions (vertex and edge counts: n, m, len(...), *count*, *size*, ...)
+// that are not preceded by an explicit bounds comparison in the same
+// function. Vertex ids in this library are int32; converting an unchecked
+// count silently truncates once an input crosses 2^31 vertices or edges.
+//
+// A conversion is considered checked when the enclosing function contains
+// any comparison whose operand text matches the converted expression
+// (e.g. "if n > math.MaxInt32 { ... }" checks int32(n)). Conversions of
+// loop variables and other non-count-like expressions are out of scope:
+// their bounds are the enclosing data structure's, which is what the
+// count-like conversions guard.
+type conversionCheck struct{}
+
+func (conversionCheck) Name() string { return "conversioncheck" }
+
+// countLikeNames match identifiers that denote vertex/edge counts by
+// convention in this codebase.
+var countLikeNames = map[string]bool{
+	"n": true, "m": true, "nn": true, "mm": true, "nv": true, "ne": true,
+	"total": true, "count": true, "cnt": true, "size": true, "num": true,
+}
+
+func countLike(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				found = true
+			}
+		case *ast.Ident:
+			name := strings.ToLower(x.Name)
+			if countLikeNames[name] {
+				found = true
+			}
+			for _, frag := range []string{"count", "size", "total", "num"} {
+				if strings.Contains(name, frag) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (conversionCheck) Run(pass *Pass) []Finding {
+	var out []Finding
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, checkConversions(pass, fn.Body)...)
+		}
+	}
+	return out
+}
+
+func checkConversions(pass *Pass, body *ast.BlockStmt) []Finding {
+	// Collect the operand text of every comparison in the function; a
+	// conversion whose operand also appears in a comparison is "checked".
+	compared := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			compared[types.ExprString(unparen(bin.X))] = true
+			compared[types.ExprString(unparen(bin.Y))] = true
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		dst, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || dst.Kind() != types.Int32 {
+			return true
+		}
+		arg := unparen(call.Args[0])
+		argTV := pass.Info.Types[arg]
+		if argTV.Value != nil {
+			return true // constant: the compiler rejects out-of-range values
+		}
+		src, ok := argTV.Type.Underlying().(*types.Basic)
+		if !ok || (src.Kind() != types.Int && src.Kind() != types.Int64) {
+			return true
+		}
+		if !countLike(arg) || compared[types.ExprString(arg)] {
+			return true
+		}
+		out = append(out, pass.finding(call.Pos(), "conversioncheck",
+			"unchecked %s -> int32 conversion of count-like %q can overflow past 2^31; bounds-check it first",
+			src.Name(), types.ExprString(arg)))
+		return true
+	})
+	return out
+}

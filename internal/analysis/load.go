@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader type-checks the packages of one module using only the standard
+// library: module-internal imports are resolved by recursively loading the
+// corresponding directory, everything else is delegated to the toolchain's
+// export-data importer (with a from-source fallback, so the tool keeps
+// working even when no export data is available).
+type loader struct {
+	root    string // absolute module root directory
+	modPath string // module path from go.mod
+	fset    *token.FileSet
+	std     types.Importer
+	stdSrc  types.Importer
+	pkgs    map[string]*Pass
+	loading map[string]bool
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		modPath: modPath,
+		fset:    fset,
+		std:     importer.Default(),
+		stdSrc:  importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Pass),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over the module + standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		p, err := ld.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	pkg, err := ld.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	return ld.stdSrc.Import(path)
+}
+
+func (ld *loader) loadPath(path string) (*Pass, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	rel := "."
+	if path != ld.modPath {
+		rel = filepath.FromSlash(strings.TrimPrefix(path, ld.modPath+"/"))
+	}
+	return ld.loadDir(filepath.Join(ld.root, rel), path, isLibrary(ld.modPath, path))
+}
+
+// loadDir parses and type-checks the single package in dir. Test files are
+// excluded: the checks target library and command code, and external test
+// packages would force a second type-checking universe per directory.
+func (ld *loader) loadDir(dir, path string, library bool) (*Pass, error) {
+	if ld.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		if len(typeErrs) > 0 {
+			err = fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
+		}
+		return nil, err
+	}
+	p := &Pass{
+		Path:    path,
+		Library: library,
+		Fset:    ld.fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+	}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// isLibrary reports whether a package is held to the library-only rules
+// (norand): everything in the module except commands, examples, and the
+// benchmark harness, whose whole purpose is wall-clock measurement.
+func isLibrary(modPath, path string) bool {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, modPath), "/")
+	for _, prefix := range []string{"cmd", "examples", "internal/bench"} {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadModule type-checks every package of the module rooted at root and
+// returns one Pass per package, sorted by import path.
+func LoadModule(root string) ([]*Pass, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	seenDir := make(map[string]bool)
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "results_csv") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			if dir := filepath.Dir(p); !seenDir[dir] {
+				seenDir[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root, modPath)
+	var passes []*Pass
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := ld.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, p)
+	}
+	sort.Slice(passes, func(i, j int) bool { return passes[i].Path < passes[j].Path })
+	return passes, nil
+}
+
+// LoadFixture type-checks the single package in dir (typically an analyzer
+// testdata fixture) against the module rooted at modRoot, so fixtures may
+// import module-internal packages. The package is treated as library code.
+func LoadFixture(modRoot, dir string) (*Pass, error) {
+	modRoot, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(modRoot, modPath)
+	return ld.loadDir(dir, "fixture/"+filepath.Base(dir), true)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mixedAtomic flags plain (non-atomic) reads and writes of objects that are
+// accessed through sync/atomic elsewhere in the package — the classic torn
+// access: once one goroutine uses atomic.CompareAndSwapInt32(&c[w], ...),
+// every access of c's elements must be atomic or separated by a
+// happens-before edge, or the Go memory model gives no guarantee about what
+// a plain load observes.
+//
+// Tracking is per declared object (variable or struct field) and per
+// package: atomic access to c[i] marks the slice c element-atomic, atomic
+// access to &x marks the scalar x atomic. Aliases created by slicing,
+// address-taking, or passing to other functions are separate objects and
+// are not followed; taking an element's address (&c[w] handed to a writeMin
+// helper) is not itself counted as a plain access.
+type mixedAtomic struct{}
+
+func (mixedAtomic) Name() string { return "mixedatomic" }
+
+// atomicUse records how an object is accessed atomically.
+type atomicUse struct {
+	elem   bool // atomic ops target elements (c[i]), not the object itself
+	scalar bool // atomic ops target the object directly (&x)
+	pos    token.Pos
+}
+
+func (mixedAtomic) Run(pass *Pass) []Finding {
+	atomics := make(map[types.Object]*atomicUse)
+
+	// Pass 1: collect every object whose address feeds a sync/atomic
+	// package function (atomic.LoadInt32(&x), ...). Methods on the atomic
+	// wrapper types need no tracking: their state cannot be accessed
+	// plainly at all.
+	record := func(arg ast.Expr) {
+		un, ok := unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return
+		}
+		operand := unparen(un.X)
+		obj := rootObject(pass.Info, operand)
+		if obj == nil {
+			return
+		}
+		u := atomics[obj]
+		if u == nil {
+			u = &atomicUse{pos: arg.Pos()}
+			atomics[obj] = u
+		}
+		if _, isIndex := operand.(*ast.IndexExpr); isIndex {
+			u.elem = true
+		} else {
+			u.scalar = true
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+				fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+				if strings.HasPrefix(fn.Name(), prefix) {
+					record(call.Args[0])
+					break
+				}
+			}
+			return true
+		})
+	}
+	if len(atomics) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses of those objects. Nodes whose address is
+	// taken are exempt (address-taking reads nothing; the resulting pointer
+	// is tracked no further).
+	addrTaken := make(map[ast.Expr]bool)
+	var out []Finding
+	report := func(n ast.Node, obj types.Object, u *atomicUse) {
+		out = append(out, pass.finding(n.Pos(), "mixedatomic",
+			"plain access of %s, which is accessed atomically (e.g. at %s); mixed atomic/plain access can tear",
+			obj.Name(), pass.Fset.Position(u.pos)))
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					addrTaken[unparen(x.X)] = true
+				}
+			case *ast.IndexExpr:
+				if addrTaken[x] {
+					return true
+				}
+				if obj := rootObject(pass.Info, x.X); obj != nil {
+					if u := atomics[obj]; u != nil && u.elem {
+						report(x, obj, u)
+						return false // one finding per access chain
+					}
+				}
+			case *ast.SelectorExpr:
+				if addrTaken[x] {
+					return true
+				}
+				if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					if u := atomics[sel.Obj()]; u != nil && u.scalar {
+						report(x, sel.Obj(), u)
+						return false
+					}
+				}
+			case *ast.Ident:
+				if addrTaken[x] {
+					return true
+				}
+				obj := pass.Info.Uses[x]
+				if obj == nil {
+					return true
+				}
+				// Field accesses are judged at their SelectorExpr, where the
+				// address-taken exemption can see the full x.f node.
+				if v, ok := obj.(*types.Var); ok && v.IsField() {
+					return true
+				}
+				if u := atomics[obj]; u != nil && u.scalar {
+					report(x, obj, u)
+				}
+			case *ast.RangeStmt:
+				// for _, v := range c reads elements of c plainly.
+				if x.Value == nil {
+					return true
+				}
+				if obj := rootObject(pass.Info, x.X); obj != nil {
+					if u := atomics[obj]; u != nil && u.elem {
+						report(x.X, obj, u)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// noRand bans the two stdlib sources of run-to-run nondeterminism from
+// library packages: math/rand (and math/rand/v2), whose global state is
+// seeded behind the caller's back, and time.Now, the classic covert seed.
+// Library code draws randomness from internal/prand with seeds injected
+// through Options, so every run is reproducible from its seed; commands,
+// examples, and the benchmark harness (which measures wall time by design)
+// are exempt, as are test files. time.Since is deliberately not banned:
+// the problem is wall-clock values flowing into algorithm state, not
+// duration measurement — but the time.Now calls that feed Since still need
+// an annotation, which keeps every clock read auditable.
+type noRand struct{}
+
+func (noRand) Name() string { return "norand" }
+
+func (noRand) Run(pass *Pass) []Finding {
+	if !pass.Library {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, pass.finding(imp.Pos(), "norand",
+					"library package imports %s; use internal/prand with an injected seed", path))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				out = append(out, pass.finding(sel.Pos(), "norand",
+					"library package calls time.Now; inject seeds/clocks so runs stay reproducible"))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package badallow is a parconnvet test fixture for malformed suppression
+// comments: CheckAllows must reject a missing reason and an unknown check
+// name.
+package badallow
+
+func missingReason() {
+	//parconn:allow mixedatomic
+	_ = 0
+}
+
+func unknownCheck() {
+	//parconn:allow nosuchcheck the check name above does not exist
+	_ = 0
+}

@@ -1,0 +1,37 @@
+// Package conversioncheck is a parconnvet test fixture: every line carrying
+// a `want` comment must be flagged by the conversioncheck check, every other
+// line must stay clean.
+package conversioncheck
+
+import "math"
+
+func unguardedCount(n int) int32 {
+	return int32(n) // want "count-like"
+}
+
+func unguardedLen(xs []int64) int32 {
+	return int32(len(xs)) // want "count-like"
+}
+
+func guardedCount(n int) (int32, bool) {
+	if n > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(n), true // ok: bounds-checked above
+}
+
+func loopVariable(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i) // ok: loop variables are not count-like
+	}
+	return out
+}
+
+func constantConversion() int32 {
+	return int32(1 << 20) // ok: constants are checked by the compiler
+}
+
+func unsignedPacking(pair uint64) int32 {
+	return int32(pair >> 32) // ok: unsigned unpacking is id math, not a count
+}

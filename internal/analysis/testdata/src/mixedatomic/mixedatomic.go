@@ -1,0 +1,54 @@
+// Package mixedatomic is a parconnvet test fixture: every line carrying a
+// `want` comment must be flagged by the mixedatomic check, every other line
+// must stay clean.
+package mixedatomic
+
+import "sync/atomic"
+
+type counterBox struct {
+	hits int64
+	cold int64
+}
+
+func mixedScalarField(b *counterBox) int64 {
+	atomic.AddInt64(&b.hits, 1)
+	return b.hits // want "plain access of hits"
+}
+
+func plainOnlyField(b *counterBox) int64 {
+	b.cold++
+	return b.cold // ok: cold is never accessed atomically
+}
+
+func mixedSliceElem(c []int32) {
+	atomic.StoreInt32(&c[0], 1)
+	c[1] = 2 // want "plain access of c"
+}
+
+func atomicOnlySlice(c []int32) int32 {
+	atomic.AddInt32(&c[0], 1)
+	return atomic.LoadInt32(&c[1]) // ok: atomic everywhere
+}
+
+func mixedRangeRead(c []int32) int32 {
+	var s int32
+	for _, v := range c { // want "plain access of c"
+		s += v
+	}
+	atomic.AddInt32(&c[0], 1)
+	return s
+}
+
+func addressEscape(c []int64) *int64 {
+	atomic.AddInt64(&c[0], 1)
+	return &c[1] // ok: taking an address reads nothing
+}
+
+func indexOnlyRange(c []int32) int {
+	atomic.AddInt32(&c[0], 1)
+	k := 0
+	for i := range c { // ok: index-only range reads no element
+		k += i
+	}
+	return k
+}

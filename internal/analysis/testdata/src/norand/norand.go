@@ -1,0 +1,21 @@
+// Package norand is a parconnvet test fixture: every line carrying a
+// `want` comment must be flagged by the norand check, every other line must
+// stay clean. The fixture is loaded as a library package.
+package norand
+
+import (
+	"math/rand" // want "imports math/rand"
+	"time"
+)
+
+func seedFromClock() int64 {
+	return time.Now().UnixNano() // want "calls time.Now"
+}
+
+func drawInjected(r *rand.Rand) int64 {
+	return r.Int63() // ok: only the import line is flagged
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // ok: Since measures durations; Now is the banned source
+}

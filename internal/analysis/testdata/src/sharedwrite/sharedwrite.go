@@ -1,0 +1,87 @@
+// Package sharedwrite is a parconnvet test fixture: every line carrying a
+// `want` comment must be flagged by the sharedwrite check, every other line
+// must stay clean.
+package sharedwrite
+
+import (
+	"sync/atomic"
+
+	"parconn/internal/parallel"
+)
+
+func racySum(xs []int) int {
+	sum := 0
+	parallel.For(0, len(xs), func(i int) {
+		sum += xs[i] // want "captured sum"
+	})
+	return sum
+}
+
+func okIndexedByLoopVar(xs, out []int) {
+	parallel.For(0, len(xs), func(i int) {
+		out[i] = xs[i] * 2 // ok: slot owned via the loop variable
+	})
+}
+
+func racyFixedIndex(out []int) {
+	parallel.Blocks(0, len(out), 0, func(lo, hi int) {
+		out[0] = lo // want "captured out"
+	})
+}
+
+func okDerivedIndex(out []int32) {
+	parallel.Blocks(0, len(out), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := int32(i)
+			out[v] = v // ok: index derived from a closure-local
+		}
+	})
+}
+
+func okAtomicReservedSlot(out []int64) {
+	var cursor atomic.Int64
+	parallel.For(0, len(out), func(i int) {
+		out[cursor.Add(1)-1] = int64(i) // ok: atomically reserved slot
+	})
+}
+
+func okWorkerSlot(procs, n int) []int {
+	acc := make([]int, parallel.Procs(procs))
+	parallel.WorkerBlocks(procs, n, func(worker, lo, hi int) {
+		acc[worker] = hi - lo // ok: one slot per worker
+	})
+	return acc
+}
+
+func racyDo() int {
+	x := 0
+	parallel.Do(0,
+		func() { x = 1 }, // want "captured x"
+		func() { x = 2 }, // want "captured x"
+	)
+	return x
+}
+
+func racyPointer(p *int) {
+	parallel.For(0, 8, func(i int) {
+		*p = i // want "captured p"
+	})
+}
+
+func racyCopy(dst, src []int) {
+	parallel.Blocks(0, len(src), 0, func(lo, hi int) {
+		copy(dst, src) // want "captured dst"
+	})
+}
+
+func okCopyBlocked(dst, src []int) {
+	parallel.Blocks(0, len(src), 0, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi]) // ok: disjoint worker ranges
+	})
+}
+
+func racyIncrement(counts []int) {
+	parallel.ForGrain(0, 100, 10, func(i int) {
+		counts[len(counts)-1]++ // want "captured counts"
+	})
+}

@@ -1,0 +1,22 @@
+// Package suppress is a parconnvet test fixture: every finding in it is
+// covered by a //parconn:allow comment, so the active set must be empty and
+// the suppressed set non-empty.
+package suppress
+
+import "sync/atomic"
+
+func benignPhaseRead(c []int32) int32 {
+	atomic.AddInt32(&c[0], 1)
+	//parconn:allow mixedatomic test fixture: phases separated by a fork-join barrier
+	return c[0]
+}
+
+func boundedConversion(n int) int32 {
+	return int32(n) //parconn:allow conversioncheck test fixture: caller guarantees n < 2^31
+}
+
+func multiCheckLine(c []int32, n int) int32 {
+	atomic.AddInt32(&c[0], 1)
+	//parconn:allow mixedatomic,conversioncheck test fixture: one comment, two checks
+	return c[n] + int32(n)
+}

@@ -44,6 +44,7 @@ func newBFSState(n int, denseFrac float64) *bfsState {
 // once it is dense.
 func (st *bfsState) run(g *graph.Graph, labels []int32, src, label int32, procs int) int {
 	n := g.N
+	//parconn:allow mixedatomic sequential seed write before any worker is forked; the Blocks fork publishes it
 	labels[src] = label
 	st.round++
 	st.frontRound[src] = st.round
@@ -62,11 +63,13 @@ func (st *bfsState) run(g *graph.Graph, labels []int32, src, label int32, procs 
 			// the frontier and stops at the first hit.
 			parallel.Blocks(procs, n, 0, func(lo, hi int) {
 				for w := lo; w < hi; w++ {
+					//parconn:allow mixedatomic bottom-up levels are read/owner-write only (Beamer); rounds are separated by fork-join barriers
 					if labels[w] != -1 {
 						continue
 					}
 					for _, u := range g.Neighbors(int32(w)) {
 						if st.frontRound[u] == r {
+							//parconn:allow mixedatomic only w's own iteration writes labels[w] in a bottom-up level
 							labels[w] = label
 							nxt[cursor.Add(1)-1] = int32(w)
 							break

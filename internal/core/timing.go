@@ -17,7 +17,7 @@ func startContract(p *decomp.PhaseTimes) contractWatch {
 	if p == nil {
 		return contractWatch{}
 	}
-	return contractWatch{start: time.Now(), on: true}
+	return contractWatch{start: time.Now(), on: true} //parconn:allow norand contract-phase stopwatch only; no algorithmic use of the clock
 }
 
 func (c contractWatch) stop(p *decomp.PhaseTimes) {

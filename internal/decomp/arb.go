@@ -19,7 +19,7 @@ func decompArb(g *WGraph, opt Options) Result {
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
-	t0 := time.Now()
+	t0 := now()
 	c := make([]int32, n)
 	parallel.Fill(procs, c, unvisited)
 	var parents []int32
@@ -45,7 +45,7 @@ func decompArb(g *WGraph, opt Options) Result {
 	for visited < n {
 		// bfsPre: start new BFS's from the permutation prefix whose
 		// simulated shift falls below round+1 (paper lines 5-6).
-		tPre := time.Now()
+		tPre := now()
 		if curN == 0 && permPtr < n {
 			round = sh.fastForward(round, permPtr)
 		}
@@ -57,8 +57,9 @@ func decompArb(g *WGraph, opt Options) Result {
 			base := permPtr
 			parallel.For(procs, end-permPtr, func(i int) {
 				v := perm[base+i]
+				//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
 				if c[v] == unvisited {
-					c[v] = v
+					c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
 					if parents != nil {
 						parents[v] = v
 					}
@@ -86,14 +87,14 @@ func decompArb(g *WGraph, opt Options) Result {
 		}
 
 		// bfsMain: single pass over the frontier's edges (paper lines 9-20).
-		tMain := time.Now()
+		tMain := now()
 		cur := bufs[curBuf][:curN]
 		nxt := bufs[1-curBuf]
 		cursor.Store(0)
 		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
 			for fi := lo; fi < hi; fi++ {
 				v := cur[fi]
-				cv := c[v]
+				cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
 				start := g.Offs[v]
 				d := int64(g.Deg[v])
 				if opt.EdgeParallel > 0 && d >= int64(opt.EdgeParallel) {

@@ -1,0 +1,11 @@
+package decomp
+
+import "time"
+
+// now is the single clock read for phase timing in this package. The
+// stopwatch is diagnostic instrumentation, not algorithmic state: decomp
+// draws all randomness from the injected seed via internal/prand, so a
+// wall-clock read here cannot influence results or reproducibility.
+func now() time.Time {
+	return time.Now() //parconn:allow norand phase-timing stopwatch only; algorithmic randomness comes from injected seeds
+}

@@ -36,5 +36,6 @@ func processEdgesParallel(g *WGraph, c, parents []int32, v, cv int32, nxt []int3
 	})
 	kept := parallel.Pack(procs, seg, func(i int) bool { return seg[i] >= 0 })
 	parallel.Copy(procs, seg[:len(kept)], kept)
+	//parconn:allow conversioncheck kept is a subset of seg, whose length came from the int32 g.Deg[v]
 	g.Deg[v] = int32(len(kept))
 }

@@ -23,7 +23,7 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
-	t0 := time.Now()
+	t0 := now()
 	c := make([]int32, n)
 	parallel.Fill(procs, c, unvisited)
 	// frontRound[v] is the round at which v joined the frontier; the dense
@@ -46,7 +46,7 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 	numCenters, workRounds := 0, 0
 	var cursor atomic.Int64
 	for visited < n {
-		tPre := time.Now()
+		tPre := now()
 		if curN == 0 && permPtr < n {
 			round = sh.fastForward(round, permPtr)
 		}
@@ -59,8 +59,9 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 			r32 := int32(round)
 			parallel.For(procs, end-permPtr, func(i int) {
 				v := perm[base+i]
+				//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
 				if c[v] == unvisited {
-					c[v] = v
+					c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
 					frontRound[v] = r32
 					front[cursor.Add(1)-1] = v
 				}
@@ -94,10 +95,11 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 			// neighbor on the current frontier and adopts its component,
 			// exiting the scan early. Edges are left unclassified for
 			// filterEdges.
-			tDense := time.Now()
+			tDense := now()
 			r32 := int32(round)
 			parallel.Blocks(procs, n, 0, func(lo, hi int) {
 				for w := lo; w < hi; w++ {
+					//parconn:allow mixedatomic dense pass is read/owner-write only (paper §4); CAS rounds are barrier-separated
 					if c[w] != unvisited {
 						continue
 					}
@@ -106,6 +108,7 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 					for i := int64(0); i < d; i++ {
 						u := g.Adj[start+i]
 						if frontRound[u] == r32 {
+							//parconn:allow mixedatomic only w's own iteration writes c[w]; c[u] was fixed before this round's fork barrier
 							c[w] = c[u]
 							nxt[cursor.Add(1)-1] = int32(w)
 							break
@@ -123,12 +126,12 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 			// Write-based pass: Decomp-Arb's single CAS pass, except that
 			// relabeled inter-component edges get the sign bit set so the
 			// filterEdges pass can tell them from untouched edges.
-			tSparse := time.Now()
+			tSparse := now()
 			r32next := int32(round + 1)
 			parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
 				for fi := lo; fi < hi; fi++ {
 					v := cur[fi]
-					cv := c[v]
+					cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
 					start := g.Offs[v]
 					d := int64(g.Deg[v])
 					var k int64
@@ -164,18 +167,19 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 	// sparse rounds hold only sign-marked (already classified, relabeled)
 	// entries; vertices visited during dense rounds hold their untouched
 	// original lists.
-	tFilter := time.Now()
+	tFilter := now()
 	parallel.Blocks(procs, n, frontierGrain, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			start := g.Offs[v]
 			d := int64(g.Deg[v])
-			cv := c[v]
+			cv := c[v] //parconn:allow mixedatomic filterEdges runs after the last BFS join barrier; c is read-only here
 			var k int64
 			for i := int64(0); i < d; i++ {
 				e := g.Adj[start+i]
 				if e < 0 {
 					g.Adj[start+k] = -e - 1
 					k++
+					//parconn:allow mixedatomic same: post-barrier read-only phase
 				} else if cw := c[e]; cw != cv {
 					g.Adj[start+k] = cw
 					k++

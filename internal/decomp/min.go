@@ -56,7 +56,7 @@ func decompMin(g *WGraph, opt Options) Result {
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
-	t0 := time.Now()
+	t0 := now()
 	c := make([]int64, n)
 	parallel.Fill(procs, c, packPair(minInf, minInf))
 	// deltaFrac[v] simulates the fractional part of v's exponential shift;
@@ -80,7 +80,7 @@ func decompMin(g *WGraph, opt Options) Result {
 	numCenters, workRounds := 0, 0
 	var cursor atomic.Int64
 	for visited < n {
-		tPre := time.Now()
+		tPre := now()
 		if curN == 0 && permPtr < n {
 			round = sh.fastForward(round, permPtr)
 		}
@@ -92,8 +92,9 @@ func decompMin(g *WGraph, opt Options) Result {
 			base := permPtr
 			parallel.For(procs, end-permPtr, func(i int) {
 				v := perm[base+i]
+				//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS phases are barrier-separated
 				if pairC1(c[v]) != -1 {
-					c[v] = packPair(-1, v)
+					c[v] = packPair(-1, v) //parconn:allow mixedatomic same: v is uniquely owned by this iteration
 					front[cursor.Add(1)-1] = v
 				}
 			})
@@ -122,7 +123,7 @@ func decompMin(g *WGraph, opt Options) Result {
 
 		// Phase 1 (paper lines 9-23): mark unvisited neighbors with
 		// writeMin; edges to already-visited neighbors are classified now.
-		t1 := time.Now()
+		t1 := now()
 		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
 			for fi := lo; fi < hi; fi++ {
 				v := cur[fi]
@@ -160,7 +161,7 @@ func decompMin(g *WGraph, opt Options) Result {
 
 		// Phase 2 (paper lines 24-39): the centers whose mark survived
 		// claim their neighbors with a CAS; remaining edges are classified.
-		t2 := time.Now()
+		t2 := now()
 		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
 			for fi := lo; fi < hi; fi++ {
 				v := cur[fi]
@@ -213,7 +214,7 @@ func decompMin(g *WGraph, opt Options) Result {
 
 	// Unset the sign bits of the surviving (inter-component) edges so the
 	// contraction phase sees plain component ids, and extract the labels.
-	tEnd := time.Now()
+	tEnd := now()
 	parallel.For(procs, n, func(v int) {
 		start := g.Offs[v]
 		for i := int64(0); i < int64(g.Deg[v]); i++ {
@@ -223,6 +224,7 @@ func decompMin(g *WGraph, opt Options) Result {
 		}
 	})
 	labels := make([]int32, n)
+	//parconn:allow mixedatomic read-only extraction after the last phase's join barrier; no writer is live
 	parallel.For(procs, n, func(v int) { labels[v] = pairC2(c[v]) })
 	if opt.Phases != nil {
 		opt.Phases.BFSPhase2 += time.Since(tEnd)

@@ -24,10 +24,16 @@ func TestBallRadiusBound(t *testing.T) {
 		{"grid-0.1", graph.Grid3D(30, 3), 0.1},
 		{"rmat-0.1", graph.RMat(13, graph.RMatOptions{EdgeFactor: 5, Seed: 4}), 0.1},
 	}
+	// The low-beta line cases dominate runtime (rounds scale with 1/beta);
+	// one seed suffices for the race-detector -short lane.
+	seeds := uint64(3)
+	if testing.Short() {
+		seeds = 1
+	}
 	for _, c := range cases {
 		lnN := math.Log(float64(c.g.N))
 		bound := int(4*lnN/c.beta) + 20
-		for seed := uint64(0); seed < 3; seed++ {
+		for seed := uint64(0); seed < seeds; seed++ {
 			for _, variant := range variants {
 				w := NewWGraph(c.g, 0)
 				res, err := Decompose(w, variant, Options{Beta: c.beta, Seed: seed})

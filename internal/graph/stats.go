@@ -58,7 +58,7 @@ func Summarize(g *Graph, seed uint64) Stats {
 		// Random member of the largest component as the first sweep source.
 		src := prand.New(seed)
 		for tries := 0; tries < 64; tries++ {
-			v := int32(src.Intn(g.N))
+			v := int32(src.Intn(g.N)) //parconn:allow conversioncheck Intn(g.N) < g.N, and vertex counts fit int32 by construction
 			if labels[v] == bestLabel {
 				start = v
 				break

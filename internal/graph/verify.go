@@ -40,6 +40,7 @@ func VerifyLabeling(g *Graph, labels []int32) error {
 				if labels[v] != labels[w] {
 					mu.Lock()
 					if bad == nil {
+						//parconn:allow sharedwrite bad is written under mu; first error wins
 						bad = fmt.Errorf("graph: edge (%d,%d) crosses labels %d and %d", v, w, labels[v], labels[w])
 					}
 					mu.Unlock()

@@ -40,6 +40,7 @@ func NewSet(procs, capacity int) *Set {
 	s := &Set{slots: make([]uint64, size), mask: uint64(size - 1)}
 	parallel.Blocks(procs, size, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			//parconn:allow mixedatomic pre-publication init; the Blocks join barrier publishes slots before any Insert
 			s.slots[i] = Empty
 		}
 	})
@@ -83,7 +84,7 @@ func (s *Set) Contains(key uint64) bool {
 	}
 	i := prand.Hash64(key) & s.mask
 	for probes := uint64(0); probes <= s.mask; probes++ {
-		cur := s.slots[i]
+		cur := s.slots[i] //parconn:allow mixedatomic Contains must not overlap Insert (phase-concurrency contract above)
 		if cur == key {
 			return true
 		}
@@ -104,5 +105,6 @@ func (s *Set) Len() int { return int(s.count.Load()) }
 // probe chain, so ordering may vary across runs; callers sort afterwards if
 // they need a canonical order). Must not run concurrently with Insert.
 func (s *Set) Elements(procs int) []uint64 {
+	//parconn:allow mixedatomic Elements must not overlap Insert (phase-concurrency contract above)
 	return parallel.Pack(procs, s.slots, func(i int) bool { return s.slots[i] != Empty })
 }

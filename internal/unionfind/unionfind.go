@@ -60,6 +60,7 @@ type Concurrent struct {
 func NewConcurrent(n int) *Concurrent {
 	c := &Concurrent{parent: make([]int32, n)}
 	for i := range c.parent {
+		//parconn:allow mixedatomic pre-publication init; the constructor returns before any concurrent use
 		c.parent[i] = int32(i)
 	}
 	return c
@@ -117,6 +118,7 @@ type Locked struct {
 func NewLocked(n int) *Locked {
 	l := &Locked{parent: make([]int32, n), rank: make([]uint8, n), lock: make([]int32, n)}
 	for i := range l.parent {
+		//parconn:allow mixedatomic pre-publication init; the constructor returns before any concurrent use
 		l.parent[i] = int32(i)
 	}
 	return l
