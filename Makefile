@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench vet check fmt fmt-check repro repro-quick examples clean
+.PHONY: all build test race race-short bench bench-smoke vet check fmt fmt-check repro repro-quick examples clean
 
 all: check test build
 
@@ -22,6 +22,11 @@ race-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash without paying for real measurements (the CI lane).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 vet:
 	$(GO) vet ./...

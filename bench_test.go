@@ -67,6 +67,34 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkCCAllocs measures steady-state allocations of the decomposition
+// CC variants with warm scheduler and scratch arena: one untimed warm-up run
+// populates the workspace free lists, so the timed iterations see the reuse
+// path (per-level buffers recycled, loop bodies pre-bound). The remaining
+// allocations are the result labels handed to the caller (which cannot be
+// recycled) plus per-parallel-section bookkeeping.
+func BenchmarkCCAllocs(b *testing.B) {
+	graphs := benchGraphs()
+	for _, gname := range []string{"rMat", "random"} {
+		g := graphs[gname]
+		for _, alg := range []Algorithm{DecompArbHybrid, DecompArb} {
+			b.Run(fmt.Sprintf("%s/%s", gname, alg), func(b *testing.B) {
+				opt := Options{Algorithm: alg, Seed: 42}
+				if _, err := ConnectedComponents(g, opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ConnectedComponents(g, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig2Threads measures the decomposition CC at several worker
 // counts (Figure 2's thread sweep; on a single-core host the points
 // coincide).

@@ -8,8 +8,9 @@
 //	bench -experiment all -scale 0.25     # everything, quarter-size inputs
 //	bench -experiment fig2 -threads 1,2,4 # explicit worker sweep
 //	bench -experiment ablation            # design-choice ablations
+//	bench -experiment json                # machine-readable BENCH_parconn.json
 //
-// Experiments: table1, table2, fig2..fig8, ablation, all. See
+// Experiments: table1, table2, fig2..fig8, ablation, json, all. See
 // EXPERIMENTS.md for the mapping to the paper and the recorded runs.
 package main
 
@@ -40,18 +41,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threads    = fs.String("threads", "", "comma-separated worker counts for fig2 (default 1,2,4,...,procs)")
 		seed       = fs.Uint64("seed", 42, "random seed")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
+		jsonPath   = fs.String("json", "", "output path for -experiment json (default BENCH_parconn.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	cfg := bench.Config{
-		Scale:  *scale,
-		Trials: *trials,
-		Procs:  *procs,
-		Seed:   *seed,
-		Out:    stdout,
-		CSVDir: *csvDir,
+		Scale:    *scale,
+		Trials:   *trials,
+		Procs:    *procs,
+		Seed:     *seed,
+		Out:      stdout,
+		CSVDir:   *csvDir,
+		JSONPath: *jsonPath,
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {

@@ -49,7 +49,7 @@ func Contract(g *Graph, labels []int32, procs int) (*Graph, []int32, error) {
 		}
 	})
 	// Gather inter-class directed pairs in quotient space.
-	kbits := uint(intsort.Bits(uint64(maxInt(1, k-1))))
+	kbits := uint(intsort.Bits(uint64(max(1, k-1))))
 	var pairs []uint64
 	for v := 0; v < n; v++ {
 		src := rank[labels[v]]
@@ -76,11 +76,4 @@ func Contract(g *Graph, labels []int32, procs int) (*Graph, []int32, error) {
 	})
 	q := graph.FromDirectedPairs(k, pairs, false, procs)
 	return &Graph{g: q}, reps, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -26,6 +26,9 @@ type Config struct {
 	// CSVDir, when non-empty, additionally writes each table as a CSV file
 	// into this directory (created if needed).
 	CSVDir string
+	// JSONPath is where the "json" experiment writes its benchmark report;
+	// empty means BENCH_parconn.json in the working directory.
+	JSONPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -363,8 +366,17 @@ var Experiments = []struct {
 	{"work", Work},
 }
 
-// Run executes the named experiment ("all" runs every one in order).
+// Run executes the named experiment ("all" runs every one in order; "json"
+// runs the machine-readable benchmark grid, which is kept out of "all"
+// because it writes a file next to the tables).
 func Run(name string, cfg Config) error {
+	if name == "json" {
+		path := cfg.JSONPath
+		if path == "" {
+			path = "BENCH_parconn.json"
+		}
+		return WriteJSON(cfg, path)
+	}
 	if name == "all" {
 		for _, e := range Experiments {
 			e.Run(cfg)

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"parconn"
+)
+
+// BenchResult is one benchmarked (input, algorithm) cell in machine-readable
+// form: the same three numbers `go test -bench -benchmem` prints, so CI and
+// regression tooling can diff runs without parsing table text.
+type BenchResult struct {
+	Input       string  `json:"input"`
+	Algorithm   string  `json:"algorithm"`
+	Procs       int     `json:"procs"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the top-level schema of BENCH_parconn.json.
+type BenchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Scale      float64       `json:"scale"`
+	Seed       uint64        `json:"seed"`
+	Results    []BenchResult `json:"results"`
+}
+
+// jsonInputs and jsonAlgorithms pick the report's grid: two input families
+// with different degree structure (uniform-random and skewed rMat) crossed
+// with the three decomposition variants plus two union-find baselines for
+// reference.
+var jsonInputs = []string{"rMat", "random"}
+
+var jsonAlgorithms = []parconn.Algorithm{
+	parconn.DecompArbHybrid,
+	parconn.DecompArb,
+	parconn.DecompMin,
+	parconn.SerialSF,
+	parconn.ParallelSFPBBS,
+}
+
+// benchOne measures one (graph, algorithm) pair with the testing package's
+// benchmark driver. One untimed warm-up run first populates the scheduler's
+// worker pool and the workspace arena's free lists so the measurement sees
+// the steady state rather than first-call growth.
+func benchOne(g *parconn.Graph, alg parconn.Algorithm, procs int, seed uint64) testing.BenchmarkResult {
+	opt := parconn.Options{Algorithm: alg, Procs: procs, Seed: seed}
+	if _, err := parconn.ConnectedComponents(g, opt); err != nil {
+		panic(err)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := parconn.ConnectedComponents(g, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// JSONReport runs the benchmark grid and collects the report.
+func JSONReport(cfg Config) BenchReport {
+	cfg = cfg.withDefaults()
+	rep := BenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+	}
+	for _, name := range jsonInputs {
+		in, err := InputByName(name)
+		if err != nil {
+			panic(err)
+		}
+		g := in.Make(cfg.Scale)
+		for _, alg := range jsonAlgorithms {
+			r := benchOne(g, alg, cfg.Procs, cfg.Seed)
+			rep.Results = append(rep.Results, BenchResult{
+				Input:       name,
+				Algorithm:   alg.String(),
+				Procs:       cfg.Procs,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+		}
+	}
+	return rep
+}
+
+// WriteJSON runs JSONReport and writes it to path, also echoing a short
+// summary line per cell to cfg.Out.
+func WriteJSON(cfg Config, path string) error {
+	cfg = cfg.withDefaults()
+	rep := JSONReport(cfg)
+	for _, r := range rep.Results {
+		fmt.Fprintf(cfg.Out, "%-10s %-22s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			r.Input, r.Algorithm, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	fmt.Fprintf(cfg.Out, "wrote %s (%d results)\n", path, len(rep.Results))
+	return nil
+}

@@ -5,7 +5,24 @@ import (
 
 	"parconn/internal/decomp"
 	"parconn/internal/graph"
+	"parconn/internal/parallel"
+	"parconn/internal/workspace"
 )
+
+// contract runs one contraction step through a fresh ccMachine, preserving
+// the pre-machine free-function shape the tests were written against.
+func contract(w *decomp.WGraph, labels []int32, _ int, opt Options) (*decomp.WGraph, []int32, []int32, []int32, []int32, int64) {
+	m := machinePool.Get().(*ccMachine)
+	m.opt = opt
+	m.procs = parallel.Procs(opt.Procs)
+	m.pool = parallel.Default()
+	m.ws = workspace.Default()
+	sub := &decomp.WGraph{}
+	rep, present, compact, newID, edgesOut := m.contract(w, sub, labels)
+	m.reset()
+	machinePool.Put(m)
+	return sub, rep, present, compact, newID, edgesOut
+}
 
 // buildWGraph constructs a working graph directly from directed adjacency
 // lists (already decomposed state: targets are component-center ids).

@@ -9,16 +9,26 @@
 // each decomposition cuts at most a 2*beta fraction of edges in expectation,
 // the edge count shrinks geometrically: O(log n) levels and O(m) total work
 // in expectation, O(log^3 n) depth w.h.p.
+//
+// The hot path is engineered to be allocation-free in the steady state:
+// scratch buffers come from a workspace.Arena (acquired per level, released
+// on the way back up, so level k+1 reuses level k's memory), parallel
+// sections run on a persistent worker pool, and every per-level loop body
+// is a closure bound once inside a pooled ccMachine (Go's escape analysis
+// is path-insensitive, so a closure literal handed to the scheduler would
+// otherwise heap-allocate at each of the O(levels) creations).
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"parconn/internal/decomp"
 	"parconn/internal/graph"
 	"parconn/internal/hashtable"
 	"parconn/internal/intsort"
 	"parconn/internal/parallel"
+	"parconn/internal/workspace"
 )
 
 // DedupMode selects how duplicate edges between contracted components are
@@ -78,6 +88,12 @@ type Options struct {
 	// Levels, if non-nil, receives one entry per recursion level
 	// (Figure 4's remaining-edge counts).
 	Levels *[]LevelStat
+	// Pool, if non-nil, supplies the worker pool for the run's parallel
+	// sections; nil means the shared parallel.Default pool.
+	Pool *parallel.Pool
+	// Workspace, if non-nil, supplies the scratch arena for per-level
+	// buffers; nil means the shared workspace.Default arena.
+	Workspace *workspace.Arena
 }
 
 // LevelStat describes one recursion level of CC.
@@ -97,6 +113,167 @@ type LevelStat struct {
 // unlikely — treat it as an internal error rather than looping forever.
 const maxLevels = 128
 
+// ccMachine carries one CC invocation's scheduler handle, scratch arena,
+// per-level working graphs, and the bound closures for the contraction and
+// relabel loops. Machines are pooled (machinePool) so repeated CC calls
+// reuse both the closures and the decomposition machines; the per-section
+// fields below the fold are written only by the coordinating goroutine
+// between parallel sections.
+type ccMachine struct {
+	pool    *parallel.Pool
+	ws      *workspace.Arena
+	procs   int
+	opt     Options
+	scratch decomp.Scratch
+
+	// levels[k] is level k's working graph (level 0 copies the input, its
+	// Offs shared with the caller's graph; deeper levels are arena-backed).
+	levels [maxLevels + 1]decomp.WGraph
+
+	// Current-section state for the bound closures.
+	w                     *decomp.WGraph
+	labels                []int32
+	newID                 []int32
+	centers               []int32
+	offs                  []int64
+	pairs                 []uint64
+	kbits                 uint
+	mask                  uint64
+	present, compact, rep []int32
+	subOffs               []int64
+	subAdj, subDeg        []int32
+	subLabels             []int32
+	set                   hashtable.Set
+
+	fnIsCenter, fnCenters, fnOffs, fnPairs   func(lo, hi int)
+	fnInsert, fnPresent, fnRep               func(lo, hi int)
+	fnSubAdj, fnSubDeg, fnRelabel, fnUnseenQ func(lo, hi int)
+}
+
+// machinePool recycles ccMachines across CC calls; a machine is exclusively
+// owned between Get and Put.
+var machinePool = sync.Pool{New: func() any { return newCCMachine() }}
+
+func newCCMachine() *ccMachine {
+	m := &ccMachine{}
+	// Renumber centers to [0, k): newID[center] = rank (after the scan).
+	// newID aliases the isCenter flags, which the coordinator zero-fills
+	// before this section (arena buffers come back dirty).
+	m.fnIsCenter = func(lo, hi int) {
+		labels, newID := m.labels, m.newID
+		for v := lo; v < hi; v++ {
+			if labels[v] == int32(v) {
+				newID[v] = 1
+			}
+		}
+	}
+	// centers[rank] = center vertex id (inverse of newID on centers).
+	m.fnCenters = func(lo, hi int) {
+		labels, newID, centers := m.labels, m.newID, m.centers
+		for v := lo; v < hi; v++ {
+			if labels[v] == int32(v) {
+				centers[newID[v]] = int32(v)
+			}
+		}
+	}
+	m.fnOffs = func(lo, hi int) {
+		w, offs := m.w, m.offs
+		for v := lo; v < hi; v++ {
+			offs[v] = int64(w.Deg[v])
+		}
+	}
+	// Gather the surviving directed edges as packed (srcComp, tgtComp)
+	// pairs in component space. Targets were relabeled to center ids during
+	// the decomposition; only the source endpoint needs mapping here (the
+	// paper's "we only need to relabel the source endpoint").
+	m.fnPairs = func(lo, hi int) {
+		w, labels, newID, offs, pairs := m.w, m.labels, m.newID, m.offs, m.pairs
+		kbits := m.kbits
+		for v := lo; v < hi; v++ {
+			src := uint64(uint32(newID[labels[v]])) << kbits
+			base := w.Offs[v]
+			out := offs[v]
+			for i := int64(0); i < int64(w.Deg[v]); i++ {
+				tgt := uint64(uint32(newID[w.Adj[base+i]]))
+				pairs[out+i] = src | tgt
+			}
+		}
+	}
+	m.fnInsert = func(lo, hi int) {
+		set, pairs := &m.set, m.pairs
+		for i := lo; i < hi; i++ {
+			set.Insert(pairs[i])
+		}
+	}
+	// Components that retain at least one edge survive into the recursion;
+	// singletons are dropped (their labels are already final). Because the
+	// edge set is symmetric, marking sources marks every non-singleton.
+	// present is zero-filled by the coordinator before this section.
+	m.fnPresent = func(lo, hi int) {
+		pairs, present := m.pairs, m.present
+		kbits := m.kbits
+		for i := lo; i < hi; i++ {
+			src := int32(pairs[i] >> kbits)
+			if i == 0 || int32(pairs[i-1]>>kbits) != src {
+				present[src] = 1
+			}
+		}
+	}
+	// rep[j] = the original-vertex center of contracted vertex j.
+	m.fnRep = func(lo, hi int) {
+		present, compact, rep, centers := m.present, m.compact, m.rep, m.centers
+		for c := lo; c < hi; c++ {
+			if present[c] != 0 {
+				rep[compact[c]] = centers[c]
+			}
+		}
+	}
+	// Build the contracted working graph in compacted vertex space. compact
+	// is monotone, so remapped pairs stay sorted.
+	m.fnSubAdj = func(lo, hi int) {
+		pairs, compact, subAdj, subOffs := m.pairs, m.compact, m.subAdj, m.subOffs
+		kbits, mask := m.kbits, m.mask
+		for i := lo; i < hi; i++ {
+			src := compact[pairs[i]>>kbits]
+			subAdj[i] = compact[int32(pairs[i]&mask)]
+			if i == 0 || int32(pairs[i-1]>>kbits) != int32(pairs[i]>>kbits) {
+				subOffs[src] = int64(i)
+			}
+		}
+	}
+	m.fnSubDeg = func(lo, hi int) {
+		subOffs, subDeg := m.subOffs, m.subDeg
+		for v := lo; v < hi; v++ {
+			subDeg[v] = int32(subOffs[v+1] - subOffs[v])
+		}
+	}
+	// RELABELUP — map each vertex's component through the recursive
+	// labeling and back to a canonical vertex of this level. Singleton
+	// components keep their center label (paper: "singleton vertices are
+	// removed, but their labels are kept").
+	m.fnRelabel = func(lo, hi int) {
+		labels, newID, present, compact, rep, subLabels :=
+			m.labels, m.newID, m.present, m.compact, m.rep, m.subLabels
+		for v := lo; v < hi; v++ {
+			c := newID[labels[v]]
+			if present[c] != 0 {
+				labels[v] = rep[subLabels[compact[c]]]
+			}
+		}
+	}
+	return m
+}
+
+// reset drops all per-call references so a pooled machine retains nothing
+// (slices, option pointers) between CC calls.
+func (m *ccMachine) reset() {
+	m.pool, m.ws, m.opt = nil, nil, Options{}
+	m.w, m.labels, m.newID, m.centers = nil, nil, nil, nil
+	m.offs, m.pairs = nil, nil
+	m.present, m.compact, m.rep = nil, nil, nil
+	m.subOffs, m.subAdj, m.subDeg, m.subLabels = nil, nil, nil, nil
+}
+
 // CC computes a connected-components labeling of g. The returned labeling
 // assigns every vertex the id of a canonical vertex of its component, so
 // labels[v] == labels[u] iff u and v are connected, and labels[labels[v]] ==
@@ -109,33 +286,58 @@ func CC(g *graph.Graph, opt Options) ([]int32, error) {
 	if opt.Beta <= 0 || opt.Beta >= 1 {
 		return nil, fmt.Errorf("core: beta %v out of (0,1)", opt.Beta)
 	}
-	w := decomp.NewWGraph(g, opt.Procs)
-	return ccLevel(w, opt, 0)
+	m := machinePool.Get().(*ccMachine)
+	m.opt = opt
+	m.procs = opt.Procs
+	m.pool = opt.Pool
+	if m.pool == nil {
+		m.pool = parallel.Default()
+	}
+	m.ws = opt.Workspace
+	if m.ws == nil {
+		m.ws = workspace.Default()
+	}
+	w := &m.levels[0]
+	w.InitFrom(m.ws, g, opt.Procs)
+	labels, err := m.ccLevel(w, 0)
+	// The level-0 Offs belong to the caller's graph; only the working
+	// copy's Adj/Deg go back to the arena.
+	m.ws.PutInt32(w.Adj)
+	m.ws.PutInt32(w.Deg)
+	*w = decomp.WGraph{}
+	m.reset()
+	machinePool.Put(m)
+	return labels, err
 }
 
 // ccLevel runs one level of Algorithm 1 on the working graph w and returns
-// labels in w's vertex space (values are canonical w-vertices).
-func ccLevel(w *decomp.WGraph, opt Options, level int) ([]int32, error) {
+// labels in w's vertex space (values are canonical w-vertices). The labels
+// slice is arena-acquired; ownership passes to the caller (released after
+// the parent level's RELABELUP, or handed to the user at level 0).
+func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 	if level >= maxLevels {
 		return nil, fmt.Errorf("core: recursion exceeded %d levels; edge count is not decreasing", maxLevels)
 	}
 	if w.N == 0 {
 		return []int32{}, nil
 	}
-	procs := opt.Procs
+	procs := m.procs
 	edgesIn := w.LiveEdges(procs)
 
 	// Step 1: decompose. Each level derives an independent seed so repeated
 	// decompositions do not reuse the same permutation.
 	dopt := decomp.Options{
-		Beta:         opt.Beta,
-		Seed:         opt.Seed + uint64(level)*0x9e3779b97f4a7c15,
+		Beta:         m.opt.Beta,
+		Seed:         m.opt.Seed + uint64(level)*0x9e3779b97f4a7c15,
 		Procs:        procs,
-		DenseFrac:    opt.DenseFrac,
-		EdgeParallel: opt.EdgeParallel,
-		Phases:       opt.Phases,
+		DenseFrac:    m.opt.DenseFrac,
+		EdgeParallel: m.opt.EdgeParallel,
+		Phases:       m.opt.Phases,
+		Pool:         m.pool,
+		Workspace:    m.ws,
+		Scratch:      &m.scratch,
 	}
-	res, err := decomp.Decompose(w, opt.Variant, dopt)
+	res, err := decomp.Decompose(w, m.opt.Variant, dopt)
 	if err != nil {
 		return nil, err
 	}
@@ -153,169 +355,163 @@ func ccLevel(w *decomp.WGraph, opt Options, level int) ([]int32, error) {
 	if cut == 0 {
 		// Base case (|E'| == 0): every component was swallowed by a single
 		// ball; the decomposition labels are the final labels.
-		if opt.Levels != nil {
-			*opt.Levels = append(*opt.Levels, stat)
+		if m.opt.Levels != nil {
+			*m.opt.Levels = append(*m.opt.Levels, stat)
 		}
 		return labels, nil
 	}
 
 	// Step 2: contract (timed as the paper's "contractGraph" phase).
-	sw := startContract(opt.Phases)
-	sub, rep, present, compact, newID, edgesOut := contract(w, labels, res.NumCenters, opt)
+	sw := startContract(m.opt.Phases)
+	sub := &m.levels[level+1]
+	rep, present, compact, newID, edgesOut := m.contract(w, sub, labels)
 	stat.EdgesOut = edgesOut
-	if opt.Levels != nil {
-		*opt.Levels = append(*opt.Levels, stat)
+	if m.opt.Levels != nil {
+		*m.opt.Levels = append(*m.opt.Levels, stat)
 	}
-	sw.stop(opt.Phases)
+	sw.stop(m.opt.Phases)
 
 	// Step 3: recurse on the contracted graph.
-	subLabels, err := ccLevel(sub, opt, level+1)
+	subLabels, err := m.ccLevel(sub, level+1)
 	if err != nil {
 		return nil, err
 	}
+	// The sub-graph is fully consumed (the recursion destroyed its edges
+	// and its labels are in hand); all three arrays are arena-backed.
+	m.ws.PutInt64(sub.Offs)
+	m.ws.PutInt32(sub.Adj)
+	m.ws.PutInt32(sub.Deg)
+	*sub = decomp.WGraph{}
 
-	// Step 4: RELABELUP — map each vertex's component through the recursive
-	// labeling and back to a canonical vertex of this level.
-	sw = startContract(opt.Phases)
-	parallel.For(procs, w.N, func(v int) {
-		c := newID[labels[v]]
-		if present[c] != 0 {
-			labels[v] = rep[subLabels[compact[c]]]
-		}
-		// Singleton components keep their center label (paper: "singleton
-		// vertices are removed, but their labels are kept").
-	})
-	sw.stop(opt.Phases)
+	// Step 4: RELABELUP through the bound closure; the coordinator re-aims
+	// the machine fields at this level's arrays (they sat in locals across
+	// the recursive call, which reused the fields for deeper levels).
+	sw = startContract(m.opt.Phases)
+	m.labels, m.newID, m.present, m.compact, m.rep, m.subLabels =
+		labels, newID, present, compact, rep, subLabels
+	m.pool.Blocks(procs, w.N, 0, m.fnRelabel)
+	sw.stop(m.opt.Phases)
+
+	m.ws.PutInt32(newID)
+	m.ws.PutInt32(present)
+	m.ws.PutInt32(compact)
+	m.ws.PutInt32(rep)
+	m.ws.PutInt32(subLabels)
+	m.labels, m.newID, m.present, m.compact, m.rep, m.subLabels = nil, nil, nil, nil, nil, nil
 	return labels, nil
 }
 
-// contract builds the next-level working graph: components become vertices,
-// intra-component edges are already gone, duplicate inter-component edges
-// are removed per opt.Dedup, and singleton components (no remaining edges)
-// are dropped. It returns the contracted graph, the representative original
+// contract builds the next-level working graph into sub: components become
+// vertices, intra-component edges are already gone, duplicate
+// inter-component edges are removed per opt.Dedup, and singleton components
+// (no remaining edges) are dropped. It returns the representative original
 // vertex of each contracted vertex (rep), the present/compact component
-// mappings, the center renumbering newID, and the directed edge count of the
-// contracted graph.
-func contract(w *decomp.WGraph, labels []int32, numCenters int, opt Options) (sub *decomp.WGraph, rep []int32, present []int32, compact []int32, newID []int32, edgesOut int64) {
-	procs := opt.Procs
+// mappings, the center renumbering newID, and the directed edge count of
+// the contracted graph — all arena-acquired; the caller releases them after
+// RELABELUP. Scratch internal to one step (offs, pairs, hash slots, sort
+// buffer, centers) is released before returning, so the recursion below
+// immediately reuses it.
+func (m *ccMachine) contract(w *decomp.WGraph, sub *decomp.WGraph, labels []int32) (rep, present, compact, newID []int32, edgesOut int64) {
+	procs, ws, pool := m.procs, m.ws, m.pool
 	n := w.N
+	m.w, m.labels = w, labels
 
-	// Renumber centers to [0, k): newID[center] = rank. Only entries at
-	// center positions are meaningful.
-	isCenter := make([]int32, n)
-	parallel.For(procs, n, func(v int) {
-		if labels[v] == int32(v) {
-			isCenter[v] = 1
-		}
-	})
+	isCenter := ws.Int32(n)
+	parallel.Fill(procs, isCenter, 0)
+	m.newID = isCenter
+	pool.Blocks(procs, n, 0, m.fnIsCenter)
 	k := int(parallel.ExScan(procs, isCenter))
 	newID = isCenter // after the scan, isCenter[v] is the rank for centers
-	// centers[rank] = center vertex id (inverse of newID on centers).
-	centers := make([]int32, k)
-	parallel.For(procs, n, func(v int) {
-		if labels[v] == int32(v) {
-			centers[newID[v]] = int32(v)
-		}
-	})
+	centers := ws.Int32(k)
+	m.centers = centers
+	pool.Blocks(procs, n, 0, m.fnCenters)
 
-	// Gather the surviving directed edges as packed (srcComp, tgtComp)
-	// pairs in component space. Targets were relabeled to center ids during
-	// the decomposition; only the source endpoint needs mapping here (the
-	// paper's "we only need to relabel the source endpoint").
-	offs := make([]int64, n)
-	parallel.For(procs, n, func(v int) { offs[v] = int64(w.Deg[v]) })
+	offs := ws.Int64(n)
+	m.offs = offs
+	pool.Blocks(procs, n, 0, m.fnOffs)
 	total := parallel.ExScan(procs, offs)
-	kbits := uint(intsort.Bits(uint64(max64(1, int64(k)-1))))
-	pairs := make([]uint64, total)
-	parallel.Blocks(procs, n, frontGrain, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			src := uint64(uint32(newID[labels[v]])) << kbits
-			base := w.Offs[v]
-			out := offs[v]
-			for i := int64(0); i < int64(w.Deg[v]); i++ {
-				tgt := uint64(uint32(newID[w.Adj[base+i]]))
-				pairs[out+i] = src | tgt
-			}
-		}
-	})
+	kbits := uint(intsort.Bits(uint64(max(1, int64(k)-1))))
+	m.kbits = kbits
+	m.mask = uint64(1)<<kbits - 1
+	pairs := ws.Uint64(int(total))
+	m.pairs = pairs
+	pool.Blocks(procs, n, frontGrain, m.fnPairs)
+	ws.PutInt64(offs)
+	m.offs = nil
 
 	// Deduplicate and sort. Every path ends with pairs sorted by
 	// (src, tgt), which the CSR build below requires.
-	switch opt.Dedup {
+	switch m.opt.Dedup {
 	case DedupHash:
 		// Hash dedup first so the integer sort only handles unique edges.
-		set := hashtable.NewSet(procs, len(pairs))
-		parallel.Blocks(procs, len(pairs), 0, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				set.Insert(pairs[i])
-			}
-		})
-		pairs = set.Elements(procs)
-		intsort.SortUint64(procs, pairs, int(2*kbits))
+		slots := ws.Uint64(hashtable.SizeFor(len(pairs)))
+		m.set.Reset(procs, slots)
+		pool.Blocks(procs, len(pairs), 0, m.fnInsert)
+		uniq := ws.Uint64(m.set.Len())
+		m.set.ElementsInto(procs, uniq)
+		m.set.Drop()
+		ws.PutUint64(slots)
+		ws.PutUint64(pairs)
+		pairs = uniq
+		m.pairs = pairs
+		scratch := ws.Uint64(len(pairs))
+		intsort.SortUint64In(procs, pairs, int(2*kbits), scratch)
+		ws.PutUint64(scratch)
 	case DedupSort:
-		intsort.SortUint64(procs, pairs, int(2*kbits))
-		pairs = intsort.UniqueSorted(procs, pairs)
+		scratch := ws.Uint64(len(pairs))
+		intsort.SortUint64In(procs, pairs, int(2*kbits), scratch)
+		// scratch doubles as the compaction target (the sort is done with
+		// it); the duplicate-heavy original goes back to the arena.
+		nuniq := parallel.PackInto(procs, scratch, pairs, func(i int) bool {
+			return i == 0 || pairs[i] != pairs[i-1]
+		})
+		ws.PutUint64(pairs)
+		pairs = scratch[:nuniq]
+		m.pairs = pairs
 	case DedupNone:
-		intsort.SortUint64(procs, pairs, int(2*kbits))
+		scratch := ws.Uint64(len(pairs))
+		intsort.SortUint64In(procs, pairs, int(2*kbits), scratch)
+		ws.PutUint64(scratch)
 	}
 	edgesOut = int64(len(pairs))
 
-	// Components that retain at least one edge survive into the recursion;
-	// singletons are dropped (their labels are already final). Because the
-	// edge set is symmetric, marking sources marks every non-singleton.
-	present = make([]int32, k)
-	mask := uint64(1)<<kbits - 1
-	parallel.For(procs, len(pairs), func(i int) {
-		src := int32(pairs[i] >> kbits)
-		if i == 0 || int32(pairs[i-1]>>kbits) != src {
-			present[src] = 1
-		}
-	})
-	compact = make([]int32, k)
+	present = ws.Int32(k)
+	parallel.Fill(procs, present, 0)
+	m.present = present
+	pool.Blocks(procs, len(pairs), 0, m.fnPresent)
+	compact = ws.Int32(k)
 	parallel.Copy(procs, compact, present)
 	kPrime := int(parallel.ExScan(procs, compact))
+	m.compact = compact
 
-	// rep[j] = the original-vertex center of contracted vertex j.
-	rep = make([]int32, kPrime)
-	parallel.For(procs, k, func(c int) {
-		if present[c] != 0 {
-			rep[compact[c]] = centers[c]
-		}
-	})
+	rep = ws.Int32(kPrime)
+	m.rep = rep
+	pool.Blocks(procs, k, 0, m.fnRep)
+	ws.PutInt32(centers)
+	m.centers = nil
 
-	// Build the contracted working graph in compacted vertex space. compact
-	// is monotone, so remapped pairs stay sorted.
-	subOffs := make([]int64, kPrime+1)
+	subOffs := ws.Int64(kPrime + 1)
 	parallel.Fill(procs, subOffs, -1)
 	subOffs[kPrime] = int64(len(pairs))
-	subAdj := make([]int32, len(pairs))
-	parallel.For(procs, len(pairs), func(i int) {
-		src := compact[pairs[i]>>kbits]
-		subAdj[i] = compact[int32(pairs[i]&mask)]
-		if i == 0 || int32(pairs[i-1]>>kbits) != int32(pairs[i]>>kbits) {
-			subOffs[src] = int64(i)
-		}
-	})
+	subAdj := ws.Int32(len(pairs))
+	m.subOffs, m.subAdj = subOffs, subAdj
+	pool.Blocks(procs, len(pairs), 0, m.fnSubAdj)
 	for v := kPrime - 1; v >= 0; v-- {
 		if subOffs[v] < 0 {
 			subOffs[v] = subOffs[v+1]
 		}
 	}
-	subDeg := make([]int32, kPrime)
-	parallel.For(procs, kPrime, func(v int) {
-		subDeg[v] = int32(subOffs[v+1] - subOffs[v])
-	})
-	sub = &decomp.WGraph{N: kPrime, Offs: subOffs, Adj: subAdj, Deg: subDeg}
-	return sub, rep, present, compact, newID, edgesOut
+	subDeg := ws.Int32(kPrime)
+	m.subDeg = subDeg
+	pool.Blocks(procs, kPrime, 0, m.fnSubDeg)
+	ws.PutUint64(pairs)
+	m.pairs = nil
+
+	*sub = decomp.WGraph{N: kPrime, Offs: subOffs, Adj: subAdj, Deg: subDeg}
+	m.w, m.subOffs, m.subAdj, m.subDeg = nil, nil, nil, nil
+	return rep, present, compact, newID, edgesOut
 }
 
 // frontGrain matches the decomposition's frontier grain for skewed-degree
 // loops.
 const frontGrain = 256
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -12,28 +12,108 @@ import (
 // degrees can be highly skewed.
 const frontierGrain = 256
 
-// decompArb is Algorithm 3 of the paper: one pass per round over the
-// frontier's edges; the first CAS to reach an unvisited vertex wins it.
-func decompArb(g *WGraph, opt Options) Result {
+// arbMachine runs Algorithm 3 of the paper: one pass per round over the
+// frontier's edges; the first CAS to reach an unvisited vertex wins it. The
+// loop bodies are bound once (see Scratch); per-round state flows through
+// the fields, which only the coordinating goroutine writes, between
+// parallel sections (the pool's fork/join establishes the ordering).
+type arbMachine struct {
+	pool  *parallel.Pool
+	procs int
+	g     *WGraph
+
+	c, parents, perm []int32
+	front, cur, nxt  []int32
+	base             int
+	edgeParallel     int
+	cursor           atomic.Int64
+
+	fnPre, fnMain func(lo, hi int)
+}
+
+func newArbMachine() *arbMachine {
+	m := &arbMachine{}
+	// bfsPre: start new BFS's from the permutation prefix whose simulated
+	// shift falls below the current round (paper lines 5-6).
+	m.fnPre = func(lo, hi int) {
+		perm, c, parents, front := m.perm, m.c, m.parents, m.front
+		base := m.base
+		cursor := &m.cursor
+		for i := lo; i < hi; i++ {
+			v := perm[base+i]
+			//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
+			if c[v] == unvisited {
+				c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
+				if parents != nil {
+					parents[v] = v
+				}
+				front[cursor.Add(1)-1] = v
+			}
+		}
+	}
+	// bfsMain: single pass over the frontier's edges (paper lines 9-20).
+	m.fnMain = func(lo, hi int) {
+		g, c, parents, cur, nxt := m.g, m.c, m.parents, m.cur, m.nxt
+		procs := m.procs
+		cursor := &m.cursor
+		for fi := lo; fi < hi; fi++ {
+			v := cur[fi]
+			cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
+			start := g.Offs[v]
+			d := int64(g.Deg[v])
+			if edgePar := m.edgeParallel; edgePar > 0 && d >= int64(edgePar) {
+				processEdgesParallel(g, c, parents, v, cv, nxt, cursor, procs)
+				continue
+			}
+			var k int64
+			for i := int64(0); i < d; i++ {
+				w := g.Adj[start+i]
+				if atomic.LoadInt32(&c[w]) == unvisited &&
+					atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
+					if parents != nil {
+						parents[w] = v
+					}
+					nxt[cursor.Add(1)-1] = w
+				} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
+					// Inter-component edge: keep it, relabeled to the
+					// neighbor's component id (paper line 18).
+					g.Adj[start+k] = cw
+					k++
+				}
+			}
+			g.Deg[v] = int32(k)
+		}
+	}
+	return m
+}
+
+func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	n, procs := g.N, opt.Procs
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
+	pool, ws := opt.resolve()
+	m.pool, m.procs, m.g = pool, procs, g
+	m.edgeParallel = opt.EdgeParallel
+
 	t0 := now()
-	c := make([]int32, n)
+	c := ws.Int32(n)
 	parallel.Fill(procs, c, unvisited)
 	var parents []int32
 	if opt.WantParents {
+		// Parents are a rarely-requested result handed to the caller;
+		// plain allocation keeps their ownership out of the arena.
 		parents = make([]int32, n)
 		parallel.Fill(procs, parents, unvisited)
 	}
-	sh := newShifts(n, opt.Beta, opt.Seed, procs)
-	perm := sh.order
+	m.c, m.parents = c, parents
+	sh := newShifts(n, opt.Beta, opt.Seed, procs, ws)
+	m.perm = sh.order
 	// Double-buffered frontier: cur = bufs[curBuf][:curN]; the next frontier
 	// accumulates in the other buffer through an atomic cursor.
 	var bufs [2][]int32
-	bufs[0] = make([]int32, n)
-	bufs[1] = make([]int32, n)
+	bufs[0] = ws.Int32(n)
+	bufs[1] = ws.Int32(n)
 	curBuf, curN := 0, 0
 	if opt.Phases != nil {
 		opt.Phases.Init += time.Since(t0)
@@ -41,10 +121,7 @@ func decompArb(g *WGraph, opt Options) Result {
 
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
-	var cursor atomic.Int64
 	for visited < n {
-		// bfsPre: start new BFS's from the permutation prefix whose
-		// simulated shift falls below round+1 (paper lines 5-6).
 		tPre := now()
 		if curN == 0 && permPtr < n {
 			round = sh.fastForward(round, permPtr)
@@ -52,22 +129,12 @@ func decompArb(g *WGraph, opt Options) Result {
 		end := sh.end(round)
 		added := 0
 		if end > permPtr {
-			cursor.Store(int64(curN))
-			front := bufs[curBuf]
-			base := permPtr
-			parallel.For(procs, end-permPtr, func(i int) {
-				v := perm[base+i]
-				//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
-				if c[v] == unvisited {
-					c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
-					if parents != nil {
-						parents[v] = v
-					}
-					front[cursor.Add(1)-1] = v
-				}
-			})
+			m.cursor.Store(int64(curN))
+			m.front = bufs[curBuf]
+			m.base = permPtr
+			pool.Blocks(procs, end-permPtr, 0, m.fnPre)
 			permPtr = end
-			added = int(cursor.Load()) - curN
+			added = int(m.cursor.Load()) - curN
 			curN += added
 			numCenters += added
 		}
@@ -86,40 +153,11 @@ func decompArb(g *WGraph, opt Options) Result {
 			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added})
 		}
 
-		// bfsMain: single pass over the frontier's edges (paper lines 9-20).
 		tMain := now()
-		cur := bufs[curBuf][:curN]
-		nxt := bufs[1-curBuf]
-		cursor.Store(0)
-		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
-			for fi := lo; fi < hi; fi++ {
-				v := cur[fi]
-				cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
-				start := g.Offs[v]
-				d := int64(g.Deg[v])
-				if opt.EdgeParallel > 0 && d >= int64(opt.EdgeParallel) {
-					processEdgesParallel(g, c, parents, v, cv, nxt, &cursor, procs)
-					continue
-				}
-				var k int64
-				for i := int64(0); i < d; i++ {
-					w := g.Adj[start+i]
-					if atomic.LoadInt32(&c[w]) == unvisited &&
-						atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
-						if parents != nil {
-							parents[w] = v
-						}
-						nxt[cursor.Add(1)-1] = w
-					} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
-						// Inter-component edge: keep it, relabeled to the
-						// neighbor's component id (paper line 18).
-						g.Adj[start+k] = cw
-						k++
-					}
-				}
-				g.Deg[v] = int32(k)
-			}
-		})
+		m.cur = bufs[curBuf][:curN]
+		m.nxt = bufs[1-curBuf]
+		m.cursor.Store(0)
+		pool.Blocks(procs, curN, frontierGrain, m.fnMain)
 		if opt.Phases != nil {
 			opt.Phases.BFSMain += time.Since(tMain)
 		}
@@ -128,9 +166,17 @@ func decompArb(g *WGraph, opt Options) Result {
 		// frontier's edges are classified.
 		visited += curN
 		curBuf = 1 - curBuf
-		curN = int(cursor.Load())
+		curN = int(m.cursor.Load())
 		round++
 		workRounds++
 	}
+
+	// Release everything but the labels, whose ownership transfers to the
+	// caller, and drop the machine's aliases so the arena's next owner of
+	// these buffers is truly exclusive.
+	sh.release(ws)
+	ws.PutInt32(bufs[0])
+	ws.PutInt32(bufs[1])
+	m.g, m.c, m.parents, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
 	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, Parents: parents}
 }

@@ -28,6 +28,7 @@ import (
 
 	"parconn/internal/parallel"
 	"parconn/internal/prand"
+	"parconn/internal/workspace"
 )
 
 // Variant selects the decomposition algorithm.
@@ -93,6 +94,34 @@ type Options struct {
 	// shortest-path trees the decomposition grows, which spanner
 	// construction consumes. Only honored by the Arb variant.
 	WantParents bool
+	// Pool, if non-nil, supplies the worker pool used for the
+	// decomposition's main parallel loops; nil means the shared
+	// parallel.Default pool.
+	Pool *parallel.Pool
+	// Workspace, if non-nil, supplies the scratch arena frontier buffers,
+	// shift arrays, and labels are acquired from; nil means the shared
+	// workspace.Default arena. Result.Labels is acquired here and its
+	// ownership transfers to the caller (release it back or let the GC
+	// have it).
+	Workspace *workspace.Arena
+	// Scratch, if non-nil, caches the per-variant bound-closure machines
+	// across Decompose calls (one recursion's levels, typically) so the
+	// steady state allocates no closures. Must not be shared by
+	// concurrent Decompose calls.
+	Scratch *Scratch
+}
+
+// resolve returns the effective pool and arena for opt.
+func (o Options) resolve() (*parallel.Pool, *workspace.Arena) {
+	pool := o.Pool
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	ws := o.Workspace
+	if ws == nil {
+		ws = workspace.Default()
+	}
+	return pool, ws
 }
 
 func (o Options) withDefaults() Options {
@@ -168,13 +197,17 @@ func Decompose(g *WGraph, variant Variant, opt Options) (Result, error) {
 	if err := opt.validate(); err != nil {
 		return Result{}, err
 	}
+	sc := opt.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	switch variant {
 	case Min:
-		return decompMin(g, opt), nil
+		return sc.minM().run(g, opt), nil
 	case Arb:
-		return decompArb(g, opt), nil
+		return sc.arbM().run(g, opt), nil
 	case ArbHybrid:
-		return decompArbHybrid(g, opt), nil
+		return sc.hybridM().run(g, opt), nil
 	default:
 		return Result{}, fmt.Errorf("decomp: unknown variant %d", int(variant))
 	}
@@ -199,11 +232,15 @@ func Decompose(g *WGraph, variant Variant, opt Options) (Result, error) {
 // separates them with constant probability per level.
 type shifts struct {
 	order []int32
-	cum   []int
+	cum   []int32
 }
 
-func newShifts(n int, beta float64, seed uint64, procs int) shifts {
-	deltas := make([]float64, n)
+// newShifts draws its scratch (deltas, counting-sort arrays) and its
+// results (order, cum) from ws; the scratch is released before returning,
+// and the caller releases order and cum via shifts.release when the
+// decomposition's round loop ends.
+func newShifts(n int, beta float64, seed uint64, procs int, ws *workspace.Arena) shifts {
+	deltas := ws.Float64(n)
 	parallel.Blocks(procs, n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			deltas[v] = prand.ExpFromUniform(prand.Hash64(seed^(uint64(v)+0x51ed2701)), beta)
@@ -216,27 +253,41 @@ func newShifts(n int, beta float64, seed uint64, procs int) shifts {
 	rounds := int(dmax) + 1
 	// Counting sort by start round (sequential: O(n + rounds), a tiny
 	// fraction of a decomposition's work, and proc-count independent).
-	counts := make([]int, rounds+1)
-	start := make([]int32, n)
+	// Counts fit int32 because vertex ids do. Arena buffers come back
+	// dirty, so zero counts explicitly.
+	counts := ws.Int32(rounds + 1)
+	for r := range counts {
+		counts[r] = 0
+	}
+	start := ws.Int32(n)
 	for v := 0; v < n; v++ {
 		r := int(dmax - deltas[v])
 		start[v] = int32(r)
 		counts[r]++
 	}
-	cum := make([]int, rounds)
-	acc := 0
+	cum := ws.Int32(rounds)
+	acc := int32(0)
 	for r := 0; r < rounds; r++ {
 		acc += counts[r]
 		cum[r] = acc
 		counts[r] = acc - counts[r] // scatter cursor
 	}
-	order := make([]int32, n)
+	order := ws.Int32(n)
 	for v := 0; v < n; v++ {
 		r := start[v]
 		order[counts[r]] = int32(v)
 		counts[r]++
 	}
+	ws.PutFloat64(deltas)
+	ws.PutInt32(counts)
+	ws.PutInt32(start)
 	return shifts{order: order, cum: cum}
+}
+
+// release returns the shift arrays to the arena; s must not be used after.
+func (s shifts) release(ws *workspace.Arena) {
+	ws.PutInt32(s.order)
+	ws.PutInt32(s.cum)
 }
 
 // end returns the number of vertices whose start round is <= round.
@@ -247,7 +298,7 @@ func (s shifts) end(round int) int {
 	if round < 0 {
 		return 0
 	}
-	return s.cum[round]
+	return int(s.cum[round])
 }
 
 // fastForward returns the smallest round >= r whose schedule end exceeds

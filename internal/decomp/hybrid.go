@@ -7,7 +7,7 @@ import (
 	"parconn/internal/parallel"
 )
 
-// decompArbHybrid is Decomp-Arb with Beamer-style direction optimization
+// hybridMachine is Decomp-Arb with Beamer-style direction optimization
 // (§4, "Decomp-Arb-Hybrid"): when the frontier holds more than DenseFrac of
 // the vertices, the round switches to a read-based pass in which every
 // unvisited vertex scans its own neighbors for one on the frontier and
@@ -18,157 +18,106 @@ import (
 // post-pass classifies whatever the BFS did not touch. Sparse rounds mark
 // the edges they already relabeled with the sign bit so filterEdges does not
 // process them again (paper §4, last paragraph).
-func decompArbHybrid(g *WGraph, opt Options) Result {
-	n, procs := g.N, opt.Procs
-	if n == 0 {
-		return Result{Labels: []int32{}}
-	}
-	t0 := now()
-	c := make([]int32, n)
-	parallel.Fill(procs, c, unvisited)
-	// frontRound[v] is the round at which v joined the frontier; the dense
-	// pass tests membership with it instead of a bitmap (no per-round
-	// clearing needed).
-	frontRound := make([]int32, n)
-	parallel.Fill(procs, frontRound, int32(-1))
-	sh := newShifts(n, opt.Beta, opt.Seed, procs)
-	perm := sh.order
-	var bufs [2][]int32
-	bufs[0] = make([]int32, n)
-	bufs[1] = make([]int32, n)
-	curBuf, curN := 0, 0
-	if opt.Phases != nil {
-		opt.Phases.Init += time.Since(t0)
-	}
+//
+// The loop bodies are bound once (see Scratch); per-round state flows
+// through the fields, written only by the coordinator between parallel
+// sections.
+type hybridMachine struct {
+	procs int
+	g     *WGraph
 
-	denseThreshold := int(opt.DenseFrac * float64(n))
-	permPtr, visited, round := 0, 0, 0
-	numCenters, workRounds := 0, 0
-	var cursor atomic.Int64
-	for visited < n {
-		tPre := now()
-		if curN == 0 && permPtr < n {
-			round = sh.fastForward(round, permPtr)
-		}
-		end := sh.end(round)
-		added := 0
-		if end > permPtr {
-			cursor.Store(int64(curN))
-			front := bufs[curBuf]
-			base := permPtr
-			r32 := int32(round)
-			parallel.For(procs, end-permPtr, func(i int) {
-				v := perm[base+i]
-				//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
-				if c[v] == unvisited {
-					c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
-					frontRound[v] = r32
-					front[cursor.Add(1)-1] = v
-				}
-			})
-			permPtr = end
-			added = int(cursor.Load()) - curN
-			curN += added
-			numCenters += added
-		}
-		if opt.Phases != nil {
-			opt.Phases.BFSPre += time.Since(tPre)
-		}
-		if curN == 0 {
-			if permPtr >= n {
-				break // all vertices visited; loop condition ends next check
-			}
-			// The chunk just scanned was entirely already-visited; advance
-			// to the next round that yields new centers.
-			continue
-		}
-		dense := curN > denseThreshold
-		if opt.Rounds != nil {
-			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added, Dense: dense})
-		}
-		cur := bufs[curBuf][:curN]
-		nxt := bufs[1-curBuf]
-		cursor.Store(0)
+	c, frontRound, perm []int32
+	front, cur, nxt     []int32
+	base                int
+	r32, r32next        int32
+	cursor              atomic.Int64
 
-		if dense {
-			// Read-based pass: every unvisited vertex looks for any
-			// neighbor on the current frontier and adopts its component,
-			// exiting the scan early. Edges are left unclassified for
-			// filterEdges.
-			tDense := now()
-			r32 := int32(round)
-			parallel.Blocks(procs, n, 0, func(lo, hi int) {
-				for w := lo; w < hi; w++ {
-					//parconn:allow mixedatomic dense pass is read/owner-write only (paper §4); CAS rounds are barrier-separated
-					if c[w] != unvisited {
-						continue
-					}
-					start := g.Offs[int32(w)]
-					d := int64(g.Deg[w])
-					for i := int64(0); i < d; i++ {
-						u := g.Adj[start+i]
-						if frontRound[u] == r32 {
-							//parconn:allow mixedatomic only w's own iteration writes c[w]; c[u] was fixed before this round's fork barrier
-							c[w] = c[u]
-							nxt[cursor.Add(1)-1] = int32(w)
-							break
-						}
-					}
-				}
-			})
-			newN := int(cursor.Load())
-			r32next := int32(round + 1)
-			parallel.For(procs, newN, func(i int) { frontRound[nxt[i]] = r32next })
-			if opt.Phases != nil {
-				opt.Phases.BFSDense += time.Since(tDense)
-			}
-		} else {
-			// Write-based pass: Decomp-Arb's single CAS pass, except that
-			// relabeled inter-component edges get the sign bit set so the
-			// filterEdges pass can tell them from untouched edges.
-			tSparse := now()
-			r32next := int32(round + 1)
-			parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
-				for fi := lo; fi < hi; fi++ {
-					v := cur[fi]
-					cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
-					start := g.Offs[v]
-					d := int64(g.Deg[v])
-					var k int64
-					for i := int64(0); i < d; i++ {
-						w := g.Adj[start+i]
-						if atomic.LoadInt32(&c[w]) == unvisited &&
-							atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
-							frontRound[w] = r32next
-							nxt[cursor.Add(1)-1] = w
-						} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
-							g.Adj[start+k] = -cw - 1
-							k++
-						}
-					}
-					g.Deg[v] = int32(k)
-				}
-			})
-			if opt.Phases != nil {
-				opt.Phases.BFSSparse += time.Since(tSparse)
+	fnPre, fnDense, fnDenseFront, fnSparse, fnFilter func(lo, hi int)
+}
+
+func newHybridMachine() *hybridMachine {
+	m := &hybridMachine{}
+	// bfsPre: start new BFS's from the permutation prefix whose simulated
+	// shift falls below the current round (paper lines 5-6).
+	m.fnPre = func(lo, hi int) {
+		perm, c, frontRound, front := m.perm, m.c, m.frontRound, m.front
+		base, r32 := m.base, m.r32
+		cursor := &m.cursor
+		for i := lo; i < hi; i++ {
+			v := perm[base+i]
+			//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
+			if c[v] == unvisited {
+				c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
+				frontRound[v] = r32
+				front[cursor.Add(1)-1] = v
 			}
 		}
-		// Count the frontier we just processed as visited (paper line 7);
-		// counting at claim time instead would end the loop before the last
-		// frontier's edges are classified.
-		visited += curN
-		curBuf = 1 - curBuf
-		curN = int(cursor.Load())
-		round++
-		workRounds++
 	}
-
+	// Read-based pass: every unvisited vertex looks for any neighbor on the
+	// current frontier and adopts its component, exiting the scan early.
+	// Edges are left unclassified for filterEdges.
+	m.fnDense = func(lo, hi int) {
+		g, c, frontRound, nxt := m.g, m.c, m.frontRound, m.nxt
+		r32 := m.r32
+		cursor := &m.cursor
+		for w := lo; w < hi; w++ {
+			//parconn:allow mixedatomic dense pass is read/owner-write only (paper §4); CAS rounds are barrier-separated
+			if c[w] != unvisited {
+				continue
+			}
+			start := g.Offs[int32(w)]
+			d := int64(g.Deg[w])
+			for i := int64(0); i < d; i++ {
+				u := g.Adj[start+i]
+				if frontRound[u] == r32 {
+					//parconn:allow mixedatomic only w's own iteration writes c[w]; c[u] was fixed before this round's fork barrier
+					c[w] = c[u]
+					nxt[cursor.Add(1)-1] = int32(w)
+					break
+				}
+			}
+		}
+	}
+	// Stamp the dense round's new frontier with its join round.
+	m.fnDenseFront = func(lo, hi int) {
+		nxt, frontRound, r32next := m.nxt, m.frontRound, m.r32next
+		for i := lo; i < hi; i++ {
+			frontRound[nxt[i]] = r32next
+		}
+	}
+	// Write-based pass: Decomp-Arb's single CAS pass, except that relabeled
+	// inter-component edges get the sign bit set so the filterEdges pass can
+	// tell them from untouched edges.
+	m.fnSparse = func(lo, hi int) {
+		g, c, frontRound, cur, nxt := m.g, m.c, m.frontRound, m.cur, m.nxt
+		r32next := m.r32next
+		cursor := &m.cursor
+		for fi := lo; fi < hi; fi++ {
+			v := cur[fi]
+			cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
+			start := g.Offs[v]
+			d := int64(g.Deg[v])
+			var k int64
+			for i := int64(0); i < d; i++ {
+				w := g.Adj[start+i]
+				if atomic.LoadInt32(&c[w]) == unvisited &&
+					atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
+					frontRound[w] = r32next
+					nxt[cursor.Add(1)-1] = w
+				} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
+					g.Adj[start+k] = -cw - 1
+					k++
+				}
+			}
+			g.Deg[v] = int32(k)
+		}
+	}
 	// filterEdges: classify every surviving edge. Vertices processed by
 	// sparse rounds hold only sign-marked (already classified, relabeled)
 	// entries; vertices visited during dense rounds hold their untouched
 	// original lists.
-	tFilter := now()
-	parallel.Blocks(procs, n, frontierGrain, func(lo, hi int) {
+	m.fnFilter = func(lo, hi int) {
+		g, c := m.g, m.c
 		for v := lo; v < hi; v++ {
 			start := g.Offs[v]
 			d := int64(g.Deg[v])
@@ -187,9 +136,118 @@ func decompArbHybrid(g *WGraph, opt Options) Result {
 			}
 			g.Deg[v] = int32(k)
 		}
-	})
+	}
+	return m
+}
+
+func (m *hybridMachine) run(g *WGraph, opt Options) Result {
+	n, procs := g.N, opt.Procs
+	if n == 0 {
+		return Result{Labels: []int32{}}
+	}
+	pool, ws := opt.resolve()
+	m.procs, m.g = procs, g
+
+	t0 := now()
+	c := ws.Int32(n)
+	parallel.Fill(procs, c, unvisited)
+	// frontRound[v] is the round at which v joined the frontier; the dense
+	// pass tests membership with it instead of a bitmap (no per-round
+	// clearing needed).
+	frontRound := ws.Int32(n)
+	parallel.Fill(procs, frontRound, int32(-1))
+	m.c, m.frontRound = c, frontRound
+	sh := newShifts(n, opt.Beta, opt.Seed, procs, ws)
+	m.perm = sh.order
+	var bufs [2][]int32
+	bufs[0] = ws.Int32(n)
+	bufs[1] = ws.Int32(n)
+	curBuf, curN := 0, 0
+	if opt.Phases != nil {
+		opt.Phases.Init += time.Since(t0)
+	}
+
+	denseThreshold := int(opt.DenseFrac * float64(n))
+	permPtr, visited, round := 0, 0, 0
+	numCenters, workRounds := 0, 0
+	for visited < n {
+		tPre := now()
+		if curN == 0 && permPtr < n {
+			round = sh.fastForward(round, permPtr)
+		}
+		end := sh.end(round)
+		added := 0
+		if end > permPtr {
+			m.cursor.Store(int64(curN))
+			m.front = bufs[curBuf]
+			m.base = permPtr
+			m.r32 = int32(round)
+			pool.Blocks(procs, end-permPtr, 0, m.fnPre)
+			permPtr = end
+			added = int(m.cursor.Load()) - curN
+			curN += added
+			numCenters += added
+		}
+		if opt.Phases != nil {
+			opt.Phases.BFSPre += time.Since(tPre)
+		}
+		if curN == 0 {
+			if permPtr >= n {
+				break // all vertices visited; loop condition ends next check
+			}
+			// The chunk just scanned was entirely already-visited; advance
+			// to the next round that yields new centers.
+			continue
+		}
+		dense := curN > denseThreshold
+		if opt.Rounds != nil {
+			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added, Dense: dense})
+		}
+		m.cur = bufs[curBuf][:curN]
+		m.nxt = bufs[1-curBuf]
+		m.cursor.Store(0)
+
+		if dense {
+			tDense := now()
+			m.r32 = int32(round)
+			pool.Blocks(procs, n, 0, m.fnDense)
+			newN := int(m.cursor.Load())
+			m.r32next = int32(round + 1)
+			pool.Blocks(procs, newN, 0, m.fnDenseFront)
+			if opt.Phases != nil {
+				opt.Phases.BFSDense += time.Since(tDense)
+			}
+		} else {
+			tSparse := now()
+			m.r32next = int32(round + 1)
+			pool.Blocks(procs, curN, frontierGrain, m.fnSparse)
+			if opt.Phases != nil {
+				opt.Phases.BFSSparse += time.Since(tSparse)
+			}
+		}
+		// Count the frontier we just processed as visited (paper line 7);
+		// counting at claim time instead would end the loop before the last
+		// frontier's edges are classified.
+		visited += curN
+		curBuf = 1 - curBuf
+		curN = int(m.cursor.Load())
+		round++
+		workRounds++
+	}
+
+	tFilter := now()
+	pool.Blocks(procs, n, frontierGrain, m.fnFilter)
 	if opt.Phases != nil {
 		opt.Phases.FilterEdges += time.Since(tFilter)
 	}
+
+	// Release everything but the labels, whose ownership transfers to the
+	// caller, and drop the machine's aliases so the arena's next owner of
+	// these buffers is truly exclusive.
+	sh.release(ws)
+	ws.PutInt32(bufs[0])
+	ws.PutInt32(bufs[1])
+	ws.PutInt32(frontRound)
+	m.g, m.c, m.frontRound, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
 	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds}
 }

@@ -48,29 +48,170 @@ func writeMin(loc *int64, val int64) bool {
 	}
 }
 
-// decompMin is the original Miller et al. decomposition with deterministic
+// minMachine is the original Miller et al. decomposition with deterministic
 // smallest-shift tie-breaking; two passes over the frontier's edges per
-// round (paper Algorithm 2).
-func decompMin(g *WGraph, opt Options) Result {
+// round (paper Algorithm 2). The loop bodies are bound once (see Scratch);
+// per-round state flows through the fields, written only by the coordinator
+// between parallel sections.
+type minMachine struct {
+	procs int
+	g     *WGraph
+
+	c               []int64
+	deltaFrac       []int32
+	perm, front     []int32
+	cur, nxt        []int32
+	base            int
+	labels          []int32
+	cursor          atomic.Int64
+	fnPre, fnPhase1 func(lo, hi int)
+	fnPhase2        func(lo, hi int)
+	fnUnsign        func(lo, hi int)
+	fnLabels        func(lo, hi int)
+}
+
+func newMinMachine() *minMachine {
+	m := &minMachine{}
+	// bfsPre: start new BFS's from the permutation prefix whose simulated
+	// shift falls below the current round.
+	m.fnPre = func(lo, hi int) {
+		perm, c, front := m.perm, m.c, m.front
+		base := m.base
+		cursor := &m.cursor
+		for i := lo; i < hi; i++ {
+			v := perm[base+i]
+			//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS phases are barrier-separated
+			if pairC1(c[v]) != -1 {
+				c[v] = packPair(-1, v) //parconn:allow mixedatomic same: v is uniquely owned by this iteration
+				front[cursor.Add(1)-1] = v
+			}
+		}
+	}
+	// Phase 1 (paper lines 9-23): mark unvisited neighbors with writeMin;
+	// edges to already-visited neighbors are classified now.
+	m.fnPhase1 = func(lo, hi int) {
+		g, c, deltaFrac, cur := m.g, m.c, m.deltaFrac, m.cur
+		for fi := lo; fi < hi; fi++ {
+			v := cur[fi]
+			cv := pairC2(atomic.LoadInt64(&c[v]))
+			mark := packPair(deltaFrac[cv], cv)
+			start := g.Offs[v]
+			d := int64(g.Deg[v])
+			var k int64
+			for i := int64(0); i < d; i++ {
+				w := g.Adj[start+i]
+				cw := atomic.LoadInt64(&c[w])
+				if pairC1(cw) != -1 {
+					// Not yet visited in a previous round: compete for
+					// it, and keep the edge — its status is unknown
+					// until all writeMins land.
+					if mark < cw {
+						writeMin(&c[w], mark)
+					}
+					g.Adj[start+k] = w
+					k++
+				} else if cw2 := pairC2(cw); cw2 != cv {
+					// Visited earlier, different component: keep as an
+					// inter-component edge, relabeled, sign bit set so
+					// phase 2 skips it (paper lines 20-22).
+					g.Adj[start+k] = -cw2 - 1
+					k++
+				}
+			}
+			g.Deg[v] = int32(k)
+		}
+	}
+	// Phase 2 (paper lines 24-39): the centers whose mark survived claim
+	// their neighbors with a CAS; remaining edges are classified.
+	m.fnPhase2 = func(lo, hi int) {
+		g, c, deltaFrac, cur, nxt := m.g, m.c, m.deltaFrac, m.cur, m.nxt
+		cursor := &m.cursor
+		for fi := lo; fi < hi; fi++ {
+			v := cur[fi]
+			cv := pairC2(atomic.LoadInt64(&c[v]))
+			expected := packPair(deltaFrac[cv], cv)
+			won := packPair(-1, cv)
+			start := g.Offs[v]
+			d := int64(g.Deg[v])
+			var k int64
+			for i := int64(0); i < d; i++ {
+				w := g.Adj[start+i]
+				if w < 0 {
+					// Classified in phase 1; keep.
+					g.Adj[start+k] = w
+					k++
+					continue
+				}
+				cw := atomic.LoadInt64(&c[w])
+				if cw == expected {
+					if atomic.CompareAndSwapInt64(&c[w], expected, won) {
+						// v won w: add to the next frontier; the edge is
+						// intra-component and deleted.
+						nxt[cursor.Add(1)-1] = w
+						continue
+					}
+					// A same-component peer got there first; the slot
+					// now holds (-1, cv).
+					cw = atomic.LoadInt64(&c[w])
+				}
+				if cw2 := pairC2(cw); cw2 != cv {
+					g.Adj[start+k] = -cw2 - 1
+					k++
+				}
+			}
+			g.Deg[v] = int32(k)
+		}
+	}
+	// Unset the sign bits of the surviving (inter-component) edges so the
+	// contraction phase sees plain component ids.
+	m.fnUnsign = func(lo, hi int) {
+		g := m.g
+		for v := lo; v < hi; v++ {
+			start := g.Offs[v]
+			for i := int64(0); i < int64(g.Deg[v]); i++ {
+				if e := g.Adj[start+i]; e < 0 {
+					g.Adj[start+i] = -e - 1
+				}
+			}
+		}
+	}
+	// Extract the component ids out of the packed pairs.
+	m.fnLabels = func(lo, hi int) {
+		c, labels := m.c, m.labels
+		//parconn:allow mixedatomic read-only extraction after the last phase's join barrier; no writer is live
+		for v := lo; v < hi; v++ {
+			labels[v] = pairC2(c[v])
+		}
+	}
+	return m
+}
+
+func (m *minMachine) run(g *WGraph, opt Options) Result {
 	n, procs := g.N, opt.Procs
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
+	pool, ws := opt.resolve()
+	m.procs, m.g = procs, g
+
 	t0 := now()
-	c := make([]int64, n)
+	c := ws.Int64(n)
 	parallel.Fill(procs, c, packPair(minInf, minInf))
 	// deltaFrac[v] simulates the fractional part of v's exponential shift;
 	// only consulted for vertices that become centers.
-	deltaFrac := make([]int32, n)
+	deltaFrac := ws.Int32(n)
 	seed := opt.Seed
-	parallel.For(procs, n, func(v int) {
-		deltaFrac[v] = int32(prand.Hash32(seed^uint64(v)<<1) & (1<<deltaFracBits - 1))
+	parallel.Blocks(procs, n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			deltaFrac[v] = int32(prand.Hash32(seed^uint64(v)<<1) & (1<<deltaFracBits - 1))
+		}
 	})
-	sh := newShifts(n, opt.Beta, opt.Seed, procs)
-	perm := sh.order
+	m.c, m.deltaFrac = c, deltaFrac
+	sh := newShifts(n, opt.Beta, opt.Seed, procs, ws)
+	m.perm = sh.order
 	var bufs [2][]int32
-	bufs[0] = make([]int32, n)
-	bufs[1] = make([]int32, n)
+	bufs[0] = ws.Int32(n)
+	bufs[1] = ws.Int32(n)
 	curBuf, curN := 0, 0
 	if opt.Phases != nil {
 		opt.Phases.Init += time.Since(t0)
@@ -78,7 +219,6 @@ func decompMin(g *WGraph, opt Options) Result {
 
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
-	var cursor atomic.Int64
 	for visited < n {
 		tPre := now()
 		if curN == 0 && permPtr < n {
@@ -87,19 +227,12 @@ func decompMin(g *WGraph, opt Options) Result {
 		end := sh.end(round)
 		added := 0
 		if end > permPtr {
-			cursor.Store(int64(curN))
-			front := bufs[curBuf]
-			base := permPtr
-			parallel.For(procs, end-permPtr, func(i int) {
-				v := perm[base+i]
-				//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS phases are barrier-separated
-				if pairC1(c[v]) != -1 {
-					c[v] = packPair(-1, v) //parconn:allow mixedatomic same: v is uniquely owned by this iteration
-					front[cursor.Add(1)-1] = v
-				}
-			})
+			m.cursor.Store(int64(curN))
+			m.front = bufs[curBuf]
+			m.base = permPtr
+			pool.Blocks(procs, end-permPtr, 0, m.fnPre)
 			permPtr = end
-			added = int(cursor.Load()) - curN
+			added = int(m.cursor.Load()) - curN
 			curN += added
 			numCenters += added
 		}
@@ -117,88 +250,18 @@ func decompMin(g *WGraph, opt Options) Result {
 		if opt.Rounds != nil {
 			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added})
 		}
-		cur := bufs[curBuf][:curN]
-		nxt := bufs[1-curBuf]
-		cursor.Store(0)
+		m.cur = bufs[curBuf][:curN]
+		m.nxt = bufs[1-curBuf]
+		m.cursor.Store(0)
 
-		// Phase 1 (paper lines 9-23): mark unvisited neighbors with
-		// writeMin; edges to already-visited neighbors are classified now.
 		t1 := now()
-		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
-			for fi := lo; fi < hi; fi++ {
-				v := cur[fi]
-				cv := pairC2(atomic.LoadInt64(&c[v]))
-				mark := packPair(deltaFrac[cv], cv)
-				start := g.Offs[v]
-				d := int64(g.Deg[v])
-				var k int64
-				for i := int64(0); i < d; i++ {
-					w := g.Adj[start+i]
-					cw := atomic.LoadInt64(&c[w])
-					if pairC1(cw) != -1 {
-						// Not yet visited in a previous round: compete for
-						// it, and keep the edge — its status is unknown
-						// until all writeMins land.
-						if mark < cw {
-							writeMin(&c[w], mark)
-						}
-						g.Adj[start+k] = w
-						k++
-					} else if cw2 := pairC2(cw); cw2 != cv {
-						// Visited earlier, different component: keep as an
-						// inter-component edge, relabeled, sign bit set so
-						// phase 2 skips it (paper lines 20-22).
-						g.Adj[start+k] = -cw2 - 1
-						k++
-					}
-				}
-				g.Deg[v] = int32(k)
-			}
-		})
+		pool.Blocks(procs, curN, frontierGrain, m.fnPhase1)
 		if opt.Phases != nil {
 			opt.Phases.BFSPhase1 += time.Since(t1)
 		}
 
-		// Phase 2 (paper lines 24-39): the centers whose mark survived
-		// claim their neighbors with a CAS; remaining edges are classified.
 		t2 := now()
-		parallel.Blocks(procs, curN, frontierGrain, func(lo, hi int) {
-			for fi := lo; fi < hi; fi++ {
-				v := cur[fi]
-				cv := pairC2(atomic.LoadInt64(&c[v]))
-				expected := packPair(deltaFrac[cv], cv)
-				won := packPair(-1, cv)
-				start := g.Offs[v]
-				d := int64(g.Deg[v])
-				var k int64
-				for i := int64(0); i < d; i++ {
-					w := g.Adj[start+i]
-					if w < 0 {
-						// Classified in phase 1; keep.
-						g.Adj[start+k] = w
-						k++
-						continue
-					}
-					cw := atomic.LoadInt64(&c[w])
-					if cw == expected {
-						if atomic.CompareAndSwapInt64(&c[w], expected, won) {
-							// v won w: add to the next frontier; the edge is
-							// intra-component and deleted.
-							nxt[cursor.Add(1)-1] = w
-							continue
-						}
-						// A same-component peer got there first; the slot
-						// now holds (-1, cv).
-						cw = atomic.LoadInt64(&c[w])
-					}
-					if cw2 := pairC2(cw); cw2 != cv {
-						g.Adj[start+k] = -cw2 - 1
-						k++
-					}
-				}
-				g.Deg[v] = int32(k)
-			}
-		})
+		pool.Blocks(procs, curN, frontierGrain, m.fnPhase2)
 		if opt.Phases != nil {
 			opt.Phases.BFSPhase2 += time.Since(t2)
 		}
@@ -207,27 +270,28 @@ func decompMin(g *WGraph, opt Options) Result {
 		// frontier's edges are classified.
 		visited += curN
 		curBuf = 1 - curBuf
-		curN = int(cursor.Load())
+		curN = int(m.cursor.Load())
 		round++
 		workRounds++
 	}
 
-	// Unset the sign bits of the surviving (inter-component) edges so the
-	// contraction phase sees plain component ids, and extract the labels.
 	tEnd := now()
-	parallel.For(procs, n, func(v int) {
-		start := g.Offs[v]
-		for i := int64(0); i < int64(g.Deg[v]); i++ {
-			if e := g.Adj[start+i]; e < 0 {
-				g.Adj[start+i] = -e - 1
-			}
-		}
-	})
-	labels := make([]int32, n)
-	//parconn:allow mixedatomic read-only extraction after the last phase's join barrier; no writer is live
-	parallel.For(procs, n, func(v int) { labels[v] = pairC2(c[v]) })
+	pool.Blocks(procs, n, 0, m.fnUnsign)
+	labels := ws.Int32(n)
+	m.labels = labels
+	pool.Blocks(procs, n, 0, m.fnLabels)
 	if opt.Phases != nil {
 		opt.Phases.BFSPhase2 += time.Since(tEnd)
 	}
+
+	// Release everything but the labels, whose ownership transfers to the
+	// caller, and drop the machine's aliases so the arena's next owner of
+	// these buffers is truly exclusive.
+	sh.release(ws)
+	ws.PutInt32(bufs[0])
+	ws.PutInt32(bufs[1])
+	ws.PutInt32(deltaFrac)
+	ws.PutInt64(c)
+	m.g, m.c, m.deltaFrac, m.perm, m.front, m.cur, m.nxt, m.labels = nil, nil, nil, nil, nil, nil, nil, nil
 	return Result{Labels: labels, NumCenters: numCenters, Rounds: workRounds}
 }

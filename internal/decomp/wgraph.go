@@ -3,6 +3,7 @@ package decomp
 import (
 	"parconn/internal/graph"
 	"parconn/internal/parallel"
+	"parconn/internal/workspace"
 )
 
 // WGraph is the mutable working graph the decomposition runs on: the
@@ -19,20 +20,45 @@ type WGraph struct {
 
 // NewWGraph copies g into a fresh working graph.
 func NewWGraph(g *graph.Graph, procs int) *WGraph {
-	w := &WGraph{
-		N:    g.N,
-		Offs: g.Offs, // offsets are never mutated; share them
-		Adj:  make([]int32, len(g.Adj)),
-		Deg:  make([]int32, g.N),
-	}
-	parallel.Copy(procs, w.Adj, g.Adj)
-	parallel.For(procs, g.N, func(v int) {
-		w.Deg[v] = int32(g.Offs[v+1] - g.Offs[v])
-	})
+	w := &WGraph{N: g.N}
+	w.init(g, procs, make([]int32, len(g.Adj)), make([]int32, g.N))
 	return w
 }
 
+// InitFrom fills w as a working copy of g with Adj/Deg acquired from ws —
+// the recycling variant of NewWGraph. Offs is shared with g (it is frozen),
+// so when releasing w only Adj and Deg go back to the arena.
+func (w *WGraph) InitFrom(ws *workspace.Arena, g *graph.Graph, procs int) {
+	w.N = g.N
+	w.init(g, procs, ws.Int32(len(g.Adj)), ws.Int32(g.N))
+}
+
+func (w *WGraph) init(g *graph.Graph, procs int, adj, deg []int32) {
+	w.Offs = g.Offs // offsets are never mutated; share them
+	w.Adj = adj
+	w.Deg = deg
+	parallel.Copy(procs, w.Adj, g.Adj)
+	if parallel.Procs(procs) == 1 || g.N < parallel.DefaultGrain {
+		for v := 0; v < g.N; v++ {
+			w.Deg[v] = int32(g.Offs[v+1] - g.Offs[v])
+		}
+		return
+	}
+	parallel.For(procs, g.N, func(v int) {
+		w.Deg[v] = int32(g.Offs[v+1] - g.Offs[v])
+	})
+}
+
 // LiveEdges returns the current number of live directed edges (sum of Deg).
+// The serial path avoids constructing a closure so the per-level callers
+// stay allocation-free.
 func (w *WGraph) LiveEdges(procs int) int64 {
+	if parallel.Procs(procs) == 1 || w.N < parallel.DefaultGrain {
+		var total int64
+		for _, d := range w.Deg {
+			total += int64(d)
+		}
+		return total
+	}
 	return parallel.MapReduce(procs, w.N, func(v int) int64 { return int64(w.Deg[v]) })
 }

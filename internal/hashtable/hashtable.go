@@ -26,10 +26,10 @@ type Set struct {
 	count atomic.Int64
 }
 
-// NewSet returns a set able to hold at least capacity keys. The backing
-// array is sized to the next power of two above 1.5x capacity to keep probe
+// SizeFor returns the slot-array length used for a set of the given
+// capacity: the next power of two above 1.5x capacity, keeping probe
 // sequences short.
-func NewSet(procs, capacity int) *Set {
+func SizeFor(capacity int) int {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -37,14 +37,35 @@ func NewSet(procs, capacity int) *Set {
 	for size < capacity+capacity/2 {
 		size <<= 1
 	}
-	s := &Set{slots: make([]uint64, size), mask: uint64(size - 1)}
+	return size
+}
+
+// NewSet returns a set able to hold at least capacity keys.
+func NewSet(procs, capacity int) *Set {
+	s := &Set{}
+	s.Reset(procs, make([]uint64, SizeFor(capacity)))
+	return s
+}
+
+// Reset re-initializes s as an empty set backed by slots, whose length must
+// be a power of two (use SizeFor). It exists so a long-lived Set can be
+// re-aimed at recycled scratch memory each contraction level instead of
+// allocating a fresh table; the previous backing array is abandoned
+// (callers recycling it must release it before or after Reset themselves).
+func (s *Set) Reset(procs int, slots []uint64) {
+	size := len(slots)
+	if size == 0 || size&(size-1) != 0 {
+		panic("hashtable: Reset slots length must be a nonzero power of two")
+	}
+	s.slots = slots
+	s.mask = uint64(size - 1)
+	s.count.Store(0)
 	parallel.Blocks(procs, size, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			//parconn:allow mixedatomic pre-publication init; the Blocks join barrier publishes slots before any Insert
 			s.slots[i] = Empty
 		}
 	})
-	return s
 }
 
 // Insert adds key to the set; it reports whether the key was newly inserted.
@@ -96,6 +117,15 @@ func (s *Set) Contains(key uint64) bool {
 	return false
 }
 
+// Drop releases the Set's reference to its backing slot array (so the array
+// can be recycled without the Set pinning or aliasing it) and empties the
+// set. The Set is unusable until the next Reset.
+func (s *Set) Drop() {
+	s.slots = nil
+	s.mask = 0
+	s.count.Store(0)
+}
+
 // Len returns the number of keys inserted so far.
 func (s *Set) Len() int { return int(s.count.Load()) }
 
@@ -107,4 +137,13 @@ func (s *Set) Len() int { return int(s.count.Load()) }
 func (s *Set) Elements(procs int) []uint64 {
 	//parconn:allow mixedatomic Elements must not overlap Insert (phase-concurrency contract above)
 	return parallel.Pack(procs, s.slots, func(i int) bool { return s.slots[i] != Empty })
+}
+
+// ElementsInto writes the set's keys into dst (which must hold at least
+// Len() elements; dst must not alias the backing slots) and returns the
+// number written. Ordering matches Elements. Must not run concurrently with
+// Insert.
+func (s *Set) ElementsInto(procs int, dst []uint64) int {
+	//parconn:allow mixedatomic ElementsInto must not overlap Insert (phase-concurrency contract above)
+	return parallel.PackInto(procs, dst, s.slots, func(i int) bool { return s.slots[i] != Empty })
 }

@@ -33,6 +33,14 @@ func Bits(max uint64) int {
 // as significant (keys must not exceed 2^bits - 1; bits <= 0 or > 64 means
 // 64). The sort is stable and parallel.
 func SortUint64(procs int, a []uint64, bits int) {
+	SortUint64In(procs, a, bits, nil)
+}
+
+// SortUint64In is SortUint64 with caller-provided ping-pong storage: scratch
+// must be nil or have length >= len(a). Passing a recycled scratch buffer
+// makes the sort allocation-free apart from the small per-block count array
+// on the parallel path.
+func SortUint64In(procs int, a []uint64, bits int, scratch []uint64) {
 	if bits <= 0 || bits > 64 {
 		bits = 64
 	}
@@ -43,10 +51,19 @@ func SortUint64(procs int, a []uint64, bits int) {
 	procs = parallel.Procs(procs)
 	passes := (bits + digitBits - 1) / digitBits
 	if procs == 1 || n < 1<<14 {
-		sortSerial(a, passes)
+		if len(scratch) >= n {
+			sortSerialIn(a, scratch[:n], passes)
+		} else {
+			sortSerial(a, passes)
+		}
 		return
 	}
-	buf := make([]uint64, n)
+	buf := scratch
+	if len(buf) < n {
+		buf = make([]uint64, n)
+	} else {
+		buf = buf[:n]
+	}
 	src, dst := a, buf
 	nblocks := procs * 4
 	if nblocks > n/1024+1 {
@@ -94,8 +111,12 @@ func SortUint64(procs int, a []uint64, bits int) {
 // sortSerial is the sequential LSD radix sort used for small inputs and the
 // procs==1 path.
 func sortSerial(a []uint64, passes int) {
-	n := len(a)
-	buf := make([]uint64, n)
+	sortSerialIn(a, make([]uint64, len(a)), passes)
+}
+
+// sortSerialIn is sortSerial over caller-provided ping-pong storage
+// (len(buf) == len(a)).
+func sortSerialIn(a, buf []uint64, passes int) {
 	src, dst := a, buf
 	for pass := 0; pass < passes; pass++ {
 		shift := uint(pass * digitBits)

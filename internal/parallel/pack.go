@@ -45,6 +45,53 @@ func Pack[T any](procs int, xs []T, keep func(i int) bool) []T {
 	return out
 }
 
+// PackInto is Pack writing into caller-provided storage: it fills dst
+// (which must have capacity for every kept element) and returns the number
+// of elements written. dst must not alias xs. It allocates nothing beyond
+// the small per-block count array on the parallel path.
+func PackInto[T any](procs int, dst, xs []T, keep func(i int) bool) int {
+	n := len(xs)
+	procs = Procs(procs)
+	if procs == 1 || n < 2*DefaultGrain {
+		k := 0
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				dst[k] = xs[i]
+				k++
+			}
+		}
+		return k
+	}
+	nblocks := procs * 4
+	blockOf := func(b int) (int, int) {
+		return n * b / nblocks, n * (b + 1) / nblocks
+	}
+	counts := make([]int, nblocks)
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		c := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	total := scanSerial(counts, counts)
+	_ = dst[:total] // bounds check once: dst must hold every kept element
+	For(procs, nblocks, func(b int) {
+		lo, hi := blockOf(b)
+		k := counts[b]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				dst[k] = xs[i]
+				k++
+			}
+		}
+	})
+	return total
+}
+
 // PackIndex returns, in order, the indices i in [0,n) for which keep(i) is
 // true, as int32 values. It is used to compact bitmap frontiers back to
 // sparse form.

@@ -71,15 +71,29 @@ func TestWorkerBlocksEachWorkerOnce(t *testing.T) {
 		for _, n := range []int{0, 1, 5, 1000} {
 			seen := make([]int32, p)
 			hits := make([]int32, n)
-			WorkerBlocks(p, n, func(w, lo, hi int) {
+			used := WorkerBlocks(p, n, func(w, lo, hi int) {
 				atomic.AddInt32(&seen[w], 1)
 				for i := lo; i < hi; i++ {
 					atomic.AddInt32(&hits[i], 1)
 				}
 			})
+			want := min(p, n)
+			if want < 1 {
+				want = 1
+			}
+			if used != want {
+				t.Fatalf("p=%d n=%d: used=%d want %d", p, n, used, want)
+			}
+			// Worker indices are dense in [0,used) and each fires exactly
+			// once; indices beyond used are never invoked (the old contract
+			// called them with an empty range).
 			for w, s := range seen {
-				if s != 1 {
-					t.Fatalf("p=%d n=%d: worker %d called %d times", p, n, w, s)
+				wantCalls := int32(0)
+				if w < used {
+					wantCalls = 1
+				}
+				if s != wantCalls {
+					t.Fatalf("p=%d n=%d: worker %d called %d times, want %d", p, n, w, s, wantCalls)
 				}
 			}
 			for i, h := range hits {

@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolReuseAcrossCalls drives many parallel sections through one pool and
+// checks every iteration is covered exactly once each time — the workers must
+// be reusable, not one-shot.
+func TestPoolReuseAcrossCalls(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 10_000
+	hits := make([]int32, n)
+	for round := 0; round < 50; round++ {
+		for i := range hits {
+			hits[i] = 0
+		}
+		p.Blocks(4, n, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("round %d: index %d covered %d times", round, i, h)
+			}
+		}
+	}
+}
+
+// TestPoolConcurrentIndependentLoops runs many goroutines that each issue
+// parallel sections against the same pool concurrently. Sections must not
+// interfere: each caller's iterations are covered exactly once.
+func TestPoolConcurrentIndependentLoops(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const callers = 8
+	const n = 5_000
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits := make([]int32, n)
+			for round := 0; round < 20; round++ {
+				for i := range hits {
+					hits[i] = 0
+				}
+				p.Blocks(4, n, 64, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						select {
+						case errs <- "iteration covered wrong number of times":
+						default:
+						}
+						t.Errorf("round %d: index %d covered %d times", round, i, h)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestPoolNestedSections exercises a parallel section launched from inside
+// another section's body (the edge-parallel path does this). The pool's
+// caller-participates protocol must keep this deadlock-free even when every
+// parked worker is busy.
+func TestPoolNestedSections(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var total atomic.Int64
+	p.ForGrain(4, 8, 1, func(i int) {
+		p.ForGrain(4, 8, 1, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested sections ran %d inner iterations, want 64", got)
+	}
+}
+
+// TestPoolProcsRespected checks that a section never runs more concurrent
+// workers than the procs it requested, even on a larger pool.
+func TestPoolProcsRespected(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	for _, procs := range []int{1, 2, 3} {
+		var cur, peak atomic.Int32
+		p.Blocks(procs, 64, 1, func(lo, hi int) {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			cur.Add(-1)
+		})
+		if got := peak.Load(); got > int32(procs) {
+			t.Fatalf("procs=%d: observed %d concurrent workers", procs, got)
+		}
+	}
+}
+
+// TestPoolProcsAccessor checks Procs reports the construction-time size and
+// that procs <= 0 resolves to GOMAXPROCS.
+func TestPoolProcsAccessor(t *testing.T) {
+	p := NewPool(3)
+	if p.Procs() != 3 {
+		t.Fatalf("Procs() = %d, want 3", p.Procs())
+	}
+	p.Close()
+	q := NewPool(0)
+	if q.Procs() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Procs() = %d, want GOMAXPROCS %d", q.Procs(), runtime.GOMAXPROCS(0))
+	}
+	q.Close()
+}
+
+// TestPoolNoGoroutineLeak creates pools, runs work, closes them, and checks
+// the goroutine count returns to (near) its starting point.
+func TestPoolNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for k := 0; k < 10; k++ {
+		p := NewPool(4)
+		p.For(4, 10_000, func(i int) { _ = i * i })
+		p.Close()
+	}
+	// Close waits for workers, but give the runtime a beat to retire
+	// any transient helpers before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPoolOversubscription asks one pool section for more parallelism than
+// the pool holds; the transient-helper path must still cover every index
+// exactly once.
+func TestPoolOversubscription(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	const n = 4096
+	hits := make([]int32, n)
+	p.Blocks(16, n, 32, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times", i, h)
+		}
+	}
+}
+
+// BenchmarkPoolBlocks measures the steady-state dispatch cost of a parallel
+// section on a warm pool (the quantity the pool exists to shrink).
+func BenchmarkPoolBlocks(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	xs := make([]int64, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Blocks(0, len(xs), 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				xs[j]++
+			}
+		})
+	}
+}
+
+// BenchmarkPoolForSmall measures the serial fast path: a sub-grain loop must
+// not wake anyone or allocate.
+func BenchmarkPoolForSmall(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	var sink int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForGrain(0, 100, 2048, func(j int) { sink += int64(j) })
+	}
+	_ = sink
+}
