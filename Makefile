@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-smoke vet check fmt fmt-check repro repro-quick examples clean
+.PHONY: all build test race race-short bench bench-smoke trace-smoke vet check fmt fmt-check repro repro-quick examples clean
 
 all: check test build
 
@@ -27,6 +27,12 @@ bench:
 # compile or crash without paying for real measurements (the CI lane).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Record an observability trace of one real run, then validate it against
+# the JSONL schema (run/level bracketing, monotone edge decay, known phases).
+trace-smoke:
+	$(GO) run ./cmd/connect -gen rmat -scale 14 -trace /tmp/parconn-trace.jsonl
+	$(GO) run ./cmd/connect -validate-trace /tmp/parconn-trace.jsonl
 
 vet:
 	$(GO) vet ./...

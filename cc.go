@@ -2,6 +2,7 @@ package parconn
 
 import (
 	"fmt"
+	"time"
 
 	"parconn/internal/baseline"
 	"parconn/internal/core"
@@ -164,11 +165,49 @@ type Options struct {
 	// Zero disables it, matching the paper's final configuration.
 	EdgeParallel int
 	// Phases, if non-nil, accumulates per-phase times (decomposition
-	// algorithms only).
+	// algorithms only). A compatibility view over the Recorder stream.
 	Phases *PhaseTimes
 	// Levels, if non-nil, receives per-recursion-level statistics
-	// (decomposition algorithms only).
+	// (decomposition algorithms only). A compatibility view over the
+	// Recorder stream.
 	Levels *[]LevelStat
+	// Recorder, if non-nil, receives the structured observability event
+	// stream: run start/end for every algorithm, plus per-level, per-round,
+	// per-phase, and counter events for the decomposition algorithms. See
+	// the Recorder docs in obs.go. nil disables all instrumentation.
+	Recorder Recorder
+}
+
+// validate rejects option combinations before they reach the engine, where
+// they would surface as NaN shifts, degenerate all-dense rounds, or
+// silently ignored knobs.
+func (o Options) validate() error {
+	switch o.Algorithm {
+	case DecompArbHybrid, DecompArb, DecompMin:
+		// Negated comparisons so NaN (which fails every ordered comparison)
+		// is rejected instead of waved through.
+		if o.Beta != 0 && !(o.Beta > 0 && o.Beta < 1) {
+			return fmt.Errorf("parconn: Beta %v outside (0,1); zero selects the default 0.2", o.Beta)
+		}
+		if o.DenseFrac != 0 && !(o.DenseFrac > 0 && o.DenseFrac <= 1) {
+			return fmt.Errorf("parconn: DenseFrac %v outside (0,1]; zero selects the default 0.2", o.DenseFrac)
+		}
+		if o.EdgeParallel < 0 {
+			return fmt.Errorf("parconn: EdgeParallel %d is negative", o.EdgeParallel)
+		}
+	case LDDUnionFind:
+		if o.Beta != 0 && !(o.Beta > 0 && o.Beta < 1) {
+			return fmt.Errorf("parconn: Beta %v outside (0,1); zero selects the default 0.2", o.Beta)
+		}
+		if o.EdgeParallel != 0 {
+			return fmt.Errorf("parconn: EdgeParallel is only meaningful for the decomposition algorithms, not %v", o.Algorithm)
+		}
+	default:
+		if o.EdgeParallel != 0 {
+			return fmt.Errorf("parconn: EdgeParallel is only meaningful for the decomposition algorithms, not %v", o.Algorithm)
+		}
+	}
+	return nil
 }
 
 // ConnectedComponents labels the connected components of g: the returned
@@ -176,6 +215,44 @@ type Options struct {
 // labels[u] == labels[v] iff u and v are connected, and labels[labels[v]]
 // == labels[v] for all v.
 func ConnectedComponents(g *Graph, opt Options) ([]int32, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	rec := opt.Recorder
+	if rec == nil {
+		return connectedComponents(g, opt)
+	}
+	beta := opt.Beta
+	switch opt.Algorithm {
+	case DecompArbHybrid, DecompArb, DecompMin, LDDUnionFind:
+		if beta == 0 {
+			beta = 0.2
+		}
+	default:
+		beta = 0
+	}
+	t0 := now()
+	rec.RunStart(RunStart{
+		Algorithm: opt.Algorithm.String(),
+		Vertices:  g.NumVertices(),
+		Edges:     g.g.NumDirected(),
+		Procs:     parallel.Procs(opt.Procs),
+		Seed:      opt.Seed,
+		Beta:      beta,
+	})
+	labels, err := connectedComponents(g, opt)
+	end := RunEnd{Duration: time.Since(t0)}
+	if err != nil {
+		end.Err = err.Error()
+	} else {
+		end.Components = countComponents(labels)
+	}
+	rec.RunEnd(end)
+	return labels, err
+}
+
+// connectedComponents dispatches a validated Options to the engine.
+func connectedComponents(g *Graph, opt Options) ([]int32, error) {
 	procs := parallel.Procs(opt.Procs)
 	switch opt.Algorithm {
 	case DecompArbHybrid, DecompArb, DecompMin:
@@ -189,6 +266,7 @@ func ConnectedComponents(g *Graph, opt Options) ([]int32, error) {
 			EdgeParallel: opt.EdgeParallel,
 			Phases:       opt.Phases,
 			Levels:       opt.Levels,
+			Recorder:     opt.Recorder,
 		})
 	case SerialSF:
 		return baseline.SerialSF(g.g), nil
@@ -247,6 +325,9 @@ type DecompOptions struct {
 	Seed uint64
 	// Procs bounds parallelism; <= 0 means all cores.
 	Procs int
+	// Recorder, if non-nil, receives the structured event stream (run
+	// bracketing plus per-round and per-phase events, all at level 0).
+	Recorder Recorder
 }
 
 // Decomposition is the result of a low-diameter decomposition.
@@ -274,21 +355,45 @@ func Decompose(g *Graph, opt DecompOptions) (*Decomposition, error) {
 		return nil, fmt.Errorf("parconn: Decompose requires a decomposition algorithm, got %v", opt.Algorithm)
 	}
 	procs := parallel.Procs(opt.Procs)
+	rec := opt.Recorder
+	t0 := now()
+	if rec != nil {
+		beta := opt.Beta
+		if beta == 0 {
+			beta = 0.2
+		}
+		rec.RunStart(RunStart{
+			Algorithm: opt.Algorithm.String(),
+			Vertices:  g.NumVertices(),
+			Edges:     g.g.NumDirected(),
+			Procs:     procs,
+			Seed:      opt.Seed,
+			Beta:      beta,
+		})
+	}
 	w := decomp.NewWGraph(g.g, procs)
 	res, err := decomp.Decompose(w, variantOf(opt.Algorithm), decomp.Options{
-		Beta:  opt.Beta,
-		Seed:  opt.Seed,
-		Procs: procs,
+		Beta:     opt.Beta,
+		Seed:     opt.Seed,
+		Procs:    procs,
+		Recorder: rec,
 	})
 	if err != nil {
+		if rec != nil {
+			rec.RunEnd(RunEnd{Duration: time.Since(t0), Err: err.Error()})
+		}
 		return nil, err
 	}
-	return &Decomposition{
+	d := &Decomposition{
 		Labels:        res.Labels,
 		NumPartitions: res.NumCenters,
 		Rounds:        res.Rounds,
 		CutEdges:      w.LiveEdges(procs),
-	}, nil
+	}
+	if rec != nil {
+		rec.RunEnd(RunEnd{Components: d.NumPartitions, Duration: time.Since(t0)})
+	}
+	return d, nil
 }
 
 // NumComponents returns the number of distinct components in a labeling.

@@ -9,6 +9,7 @@
 //	bench -experiment fig2 -threads 1,2,4 # explicit worker sweep
 //	bench -experiment ablation            # design-choice ablations
 //	bench -experiment json                # machine-readable BENCH_parconn.json
+//	bench -experiment table2 -trace t.jsonl  # also record an observability trace
 //
 // Experiments: table1, table2, fig2..fig8, ablation, json, all. See
 // EXPERIMENTS.md for the mapping to the paper and the recorded runs.
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"parconn"
 	"parconn/internal/bench"
 )
 
@@ -42,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Uint64("seed", 42, "random seed")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
 		jsonPath   = fs.String("json", "", "output path for -experiment json (default BENCH_parconn.json)")
+		tracePath  = fs.String("trace", "", "write a JSONL observability trace of every timed run (perturbs timings)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,6 +58,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Out:      stdout,
 		CSVDir:   *csvDir,
 		JSONPath: *jsonPath,
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 2
+		}
+		rec := parconn.NewJSONLRecorder(f)
+		cfg.Recorder = rec
+		defer func() {
+			if err := rec.Flush(); err != nil {
+				fmt.Fprintf(stderr, "bench: flushing trace: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "bench: closing trace: %v\n", err)
+			}
+			fmt.Fprintf(stdout, "trace: %d events written to %s\n", rec.Count(), *tracePath)
+		}()
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"parconn"
 )
 
 func TestBenchSingleExperiment(t *testing.T) {
@@ -25,6 +29,41 @@ func TestBenchThreadsFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Figure 8") {
 		t.Fatalf("output wrong:\n%s", out.String())
+	}
+}
+
+// TestBenchTrace checks that -trace records every timed run of an experiment
+// as a schema-valid JSONL stream (trials runs per measurement).
+func TestBenchTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "bench.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-experiment", "table2", "-scale", "0.002", "-trials", "1", "-trace", tracePath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "events written to") {
+		t.Fatalf("trace report missing:\n%s", out.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := parconn.ValidateTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table2 times every implementation on every input; even at one trial
+	// that is dozens of recorded runs.
+	if sum.Runs < 4 {
+		t.Fatalf("summary %+v: want >= 4 recorded runs", sum)
+	}
+}
+
+func TestBenchTraceBadPath(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "table1", "-trace", "/nonexistent/dir/t.jsonl"}, &out, &errb); code == 0 {
+		t.Fatal("unwritable trace path accepted")
 	}
 }
 

@@ -10,6 +10,8 @@
 //	connect -gen random -n 1000000 -algorithm decomp-arb-hybrid-CC
 //	connect -in graph.adj -algorithm parallel-SF-PRM -labels out.txt
 //	connect -gen grid3d -side 50 -decompose -beta 0.1
+//	connect -gen rmat -scale 14 -trace run.jsonl
+//	connect -validate-trace run.jsonl
 package main
 
 import (
@@ -49,9 +51,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		decompose = fs.Bool("decompose", false, "run a low-diameter decomposition instead of full connectivity and print its statistics")
 		verify    = fs.Bool("verify", false, "verify the labeling in O(n+m) after computing it")
 		stats     = fs.Bool("stats", false, "print structural statistics of the input graph")
+		tracePath = fs.String("trace", "", "write the observability event stream to this file as JSONL")
+		validate  = fs.String("validate-trace", "", "validate a JSONL trace file written by -trace and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer f.Close()
+		sum, err := parconn.ValidateTrace(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			fmt.Fprintf(stderr, "connect: invalid trace %s: %v\n", *validate, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace %s valid: %d events (%d runs, %d levels, %d rounds, %d phases, %d counters)\n",
+			*validate, sum.Events, sum.Runs, sum.Levels, sum.Rounds, sum.Phases, sum.Counters)
+		return 0
+	}
+
+	var (
+		rec       parconn.Recorder
+		traceDone func() error
+	)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		jr := parconn.NewJSONLRecorder(f)
+		rec = jr
+		traceDone = func() error {
+			if err := jr.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "trace: %d events written to %s\n", jr.Count(), *tracePath)
+			return nil
+		}
 	}
 
 	g, err := loadGraph(*inPath, *gen, *n, *scale, *side, *degree, *seed)
@@ -76,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *decompose {
 		start := time.Now()
 		d, err := parconn.Decompose(g, parconn.DecompOptions{
-			Algorithm: alg, Beta: *beta, Seed: *seed, Procs: *procs,
+			Algorithm: alg, Beta: *beta, Seed: *seed, Procs: *procs, Recorder: rec,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -90,12 +136,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "cut edges: %d of %d directed (%.2f%%; 2*beta bound is %.2f%%)\n",
 				d.CutEdges, m, 100*float64(d.CutEdges)/float64(m), 200**beta)
 		}
+		if traceDone != nil {
+			if err := traceDone(); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
 		return 0
 	}
 
 	start := time.Now()
 	labels, err := parconn.ConnectedComponents(g, parconn.Options{
-		Algorithm: alg, Beta: *beta, Seed: *seed, Procs: *procs,
+		Algorithm: alg, Beta: *beta, Seed: *seed, Procs: *procs, Recorder: rec,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -139,6 +191,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "labels written to %s\n", *labelsOut)
+	}
+	if traceDone != nil {
+		if err := traceDone(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"parconn"
 )
@@ -130,5 +131,115 @@ func TestRunEdgeListInput(t *testing.T) {
 	}
 	if !strings.Contains(out, "graph: 3 vertices, 2 undirected edges") {
 		t.Fatalf("output wrong:\n%s", out)
+	}
+}
+
+// TestRunTrace exercises -trace end to end: the JSONL file must validate,
+// per-level edge counts must never increase, and the per-phase durations
+// must account for the run's wall time to within 10%.
+func TestRunTrace(t *testing.T) {
+	// Warm the process-global worker pool, arena, and machine pools first:
+	// the 10% criterion pins the steady-state accounting of the engine's
+	// work, not one-time process initialization (cold pprof/pool/GC setup
+	// costs land between phases on the very first run).
+	if code, _, errb := runCapture(t, "-gen", "rmat", "-scale", "10", "-trace", filepath.Join(t.TempDir(), "warm.jsonl")); code != 0 {
+		t.Fatalf("warmup exit=%d stderr=%s", code, errb)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	code, out, errb := runCapture(t, "-gen", "rmat", "-scale", "14", "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	if !strings.Contains(out, "events written to") {
+		t.Fatalf("trace report missing:\n%s", out)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := parconn.ParseTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := parconn.ValidateTraceEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 1 || sum.Levels == 0 || sum.Rounds == 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+
+	var (
+		phaseSum time.Duration
+		wall     time.Duration
+		prevIn   = int64(1) << 62
+		levels   int
+	)
+	for _, ev := range events {
+		switch e := ev.V.(type) {
+		case parconn.Phase:
+			phaseSum += e.Duration
+		case parconn.RunEnd:
+			wall = e.Duration
+		case parconn.LevelEnd:
+			if e.EdgesIn > prevIn {
+				t.Fatalf("level %d edges_in %d > previous %d", e.Level, e.EdgesIn, prevIn)
+			}
+			prevIn = e.EdgesIn
+			levels++
+		}
+	}
+	if levels == 0 || wall <= 0 {
+		t.Fatalf("levels=%d wall=%v", levels, wall)
+	}
+	if ratio := float64(phaseSum) / float64(wall); ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("phase durations sum to %v, wall %v (ratio %.3f, want within 10%%)", phaseSum, wall, ratio)
+	}
+
+	// The -validate-trace mode must agree.
+	code, out, errb = runCapture(t, "-validate-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("validate exit=%d stderr=%s", code, errb)
+	}
+	if !strings.Contains(out, "valid") {
+		t.Fatalf("validate output wrong:\n%s", out)
+	}
+}
+
+// TestRunTraceDecompose covers -trace in -decompose mode.
+func TestRunTraceDecompose(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "decomp.jsonl")
+	code, _, errb := runCapture(t, "-gen", "grid3d", "-side", "10", "-decompose", "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := parconn.ValidateTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 1 || sum.Rounds == 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+// TestRunValidateTraceRejects covers the failure paths of -validate-trace.
+func TestRunValidateTraceRejects(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"ev\":\"run_end\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errb := runCapture(t, "-validate-trace", path); code == 0 || !strings.Contains(errb, "invalid trace") {
+		t.Fatalf("bad trace accepted: exit=%d stderr=%s", code, errb)
+	}
+	if code, _, _ := runCapture(t, "-validate-trace", "/nonexistent/trace.jsonl"); code == 0 {
+		t.Fatal("missing trace file accepted")
 	}
 }

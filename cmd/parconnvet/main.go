@@ -1,7 +1,8 @@
 // Command parconnvet runs this repository's concurrency-safety static
-// analyses over the module: mixedatomic, sharedwrite, norand, and
-// conversioncheck (see internal/analysis and DESIGN.md §"Correctness
-// tooling"). It is stdlib-only and wired into `make vet` / `make check`.
+// analyses over the module: mixedatomic, sharedwrite, norand,
+// conversioncheck, and obsrecorder (see internal/analysis and DESIGN.md
+// §"Correctness tooling"). It is stdlib-only and wired into `make vet` /
+// `make check`.
 //
 // Usage:
 //

@@ -35,6 +35,44 @@ func FuzzReadGraph(f *testing.F) {
 	})
 }
 
+// FuzzReadBinary: arbitrary bytes through the binary parser must never
+// panic or allocate proportionally to a corrupt header's claimed sizes, and
+// anything accepted must be structurally valid and round-trip.
+func FuzzReadBinary(f *testing.F) {
+	var valid bytes.Buffer
+	if err := graph.Line(5, 1).WriteBinary(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Corrupt header: correct magic, implausibly huge n and m, no payload.
+	corrupt := append([]byte("PCONNGR1"),
+		0xFE, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0, // n = 2^31-2
+		0, 0, 0, 0, 0, 0, 1, 0) // m = 2^48
+	f.Add(corrupt)
+	f.Add([]byte("XCONNGR1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := graph.ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted binary produced invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := graph.ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N != g.N || g2.NumDirected() != g.NumDirected() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
 // FuzzReadEdgeList: arbitrary bytes through the SNAP parser.
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("1 2\n2 3\n")

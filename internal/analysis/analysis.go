@@ -15,6 +15,10 @@
 //	                injected seeds
 //	conversioncheck count-like int/int64 expressions must not be narrowed to
 //	                int32 without an explicit bounds check
+//	obsrecorder     obs.Recorder methods must not be called inside closures
+//	                passed to the parallel entry points; parallel code
+//	                buffers per-worker measurements (obs.ShardedInt64) and
+//	                the coordinator emits events between sections
 //
 // Findings print as "file:line:col: [check] message". Intentional idioms
 // (e.g. Decomp-Arb's phase-separated plain reads) are suppressed line by
@@ -72,7 +76,7 @@ func (p *Pass) finding(pos token.Pos, check, format string, args ...any) Finding
 
 // All returns the analyzers in the order they run.
 func All() []Analyzer {
-	return []Analyzer{mixedAtomic{}, sharedWrite{}, noRand{}, conversionCheck{}}
+	return []Analyzer{mixedAtomic{}, sharedWrite{}, noRand{}, conversionCheck{}, obsRecorder{}}
 }
 
 // checkNames is the set of valid check names for //parconn:allow comments.

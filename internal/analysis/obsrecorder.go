@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsRecorder flags observability-event emission from inside a parallel
+// section: a call to one of the obs.Recorder methods in a closure passed to
+// the parallel package's fork-join entry points. The Recorder contract is
+// coordinator-only delivery — sinks (Trace, JSONLWriter) serialize on one
+// mutex, so per-element calls from workers would both race on event order
+// and turn the instrumented hot loop into a lock convoy. Parallel code
+// buffers measurements in block-local scalars, flushes them into an
+// obs.ShardedInt64, and lets the coordinating goroutine emit one event
+// between sections.
+type obsRecorder struct{}
+
+func (obsRecorder) Name() string { return "obsrecorder" }
+
+// obsPkgPath is the import path of the observability package.
+const obsPkgPath = "parconn/internal/obs"
+
+// recorderMethods is the method set of obs.Recorder.
+var recorderMethods = map[string]bool{
+	"RunStart": true, "RunEnd": true, "LevelStart": true, "LevelEnd": true,
+	"Round": true, "Phase": true, "Counter": true,
+}
+
+func (obsRecorder) Run(pass *Pass) []Finding {
+	rec := recorderInterface(pass.Pkg)
+	if rec == nil {
+		return nil // package never touches obs
+	}
+	var out []Finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParallelEntry(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+					out = append(out, checkRecorderCalls(pass, rec, lit)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// recorderInterface resolves the obs.Recorder interface type as seen by
+// pkg, or nil when pkg neither is nor imports the obs package.
+func recorderInterface(pkg *types.Package) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		obj := p.Scope().Lookup("Recorder")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if pkg.Path() == obsPkgPath {
+		return lookup(pkg)
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == obsPkgPath {
+			return lookup(imp)
+		}
+	}
+	return nil
+}
+
+// checkRecorderCalls walks one parallel closure body for calls to Recorder
+// methods on any value whose static type satisfies obs.Recorder (the
+// interface itself or a concrete sink).
+func checkRecorderCalls(pass *Pass, rec *types.Interface, lit *ast.FuncLit) []Finding {
+	var out []Finding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !recorderMethods[sel.Sel.Name] {
+			return true
+		}
+		if _, isMethod := pass.Info.Selections[sel]; !isMethod {
+			return true // package-qualified function, not a method call
+		}
+		t := pass.Info.Types[sel.X].Type
+		if t == nil {
+			return true
+		}
+		if types.Implements(t, rec) || types.Implements(types.NewPointer(t), rec) {
+			out = append(out, pass.finding(call.Pos(), "obsrecorder",
+				"obs.Recorder method %s called from inside a parallel closure; accumulate into a block-local counter, flush through obs.ShardedInt64, and emit the event from the coordinator between sections", sel.Sel.Name))
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,54 @@
+// Package obsrecorder is a parconnvet test fixture: every line carrying a
+// `want` comment must be flagged by the obsrecorder check, every other line
+// must stay clean.
+package obsrecorder
+
+import (
+	"parconn/internal/obs"
+	"parconn/internal/parallel"
+)
+
+func racyInterfaceEmit(rec obs.Recorder, xs []int) {
+	parallel.For(0, len(xs), func(i int) {
+		rec.Counter(obs.Counter{Name: "cas", Value: 1}) // want "Counter"
+	})
+}
+
+func racyConcreteSink(tr *obs.Trace, xs []int) {
+	parallel.Blocks(0, len(xs), 0, func(lo, hi int) {
+		tr.Round(obs.Round{Round: lo}) // want "Round"
+	})
+}
+
+func racyNestedClosure(rec obs.Recorder, xs []int) {
+	parallel.Do(0, func() {
+		emit := func() {
+			rec.Phase(obs.Phase{Name: "init"}) // want "Phase"
+		}
+		emit()
+	}, func() {})
+}
+
+func okCoordinatorEmit(rec obs.Recorder, xs []int) {
+	retries := obs.NewShardedInt64(8)
+	parallel.Blocks(0, len(xs), 0, func(lo, hi int) {
+		casFail := int64(0)
+		for i := lo; i < hi; i++ {
+			casFail++
+		}
+		retries.Add(lo, casFail) // ok: buffered per-worker path
+	})
+	rec.Counter(obs.Counter{Name: "cas", Value: retries.Sum()}) // ok: coordinator, between sections
+}
+
+func okUnrelatedMethod(xs []int) {
+	var c counterish
+	parallel.For(0, len(xs), func(i int) {
+		c.Round(i) // ok: not an obs.Recorder
+	})
+	_ = c
+}
+
+type counterish struct{ n int }
+
+func (c *counterish) Round(int) {}

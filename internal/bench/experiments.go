@@ -29,6 +29,11 @@ type Config struct {
 	// JSONPath is where the "json" experiment writes its benchmark report;
 	// empty means BENCH_parconn.json in the working directory.
 	JSONPath string
+	// Recorder, if non-nil, receives the observability event stream of
+	// every timed connectivity run (one run_start/run_end pair per trial).
+	// Attaching a sink perturbs the timings slightly; leave nil for
+	// publication numbers.
+	Recorder parconn.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -69,9 +74,9 @@ var table2Algorithms = []parconn.Algorithm{
 }
 
 // runCC runs one labeled measurement and returns the median duration.
-func runCC(g *parconn.Graph, alg parconn.Algorithm, procs, trials int, seed uint64) time.Duration {
+func runCC(g *parconn.Graph, alg parconn.Algorithm, procs, trials int, seed uint64, rec parconn.Recorder) time.Duration {
 	return Median(trials, func() {
-		if _, err := parconn.ConnectedComponents(g, parconn.Options{Algorithm: alg, Procs: procs, Seed: seed}); err != nil {
+		if _, err := parconn.ConnectedComponents(g, parconn.Options{Algorithm: alg, Procs: procs, Seed: seed, Recorder: rec}); err != nil {
 			panic(err)
 		}
 	})
@@ -106,7 +111,7 @@ func Table2(cfg Config) {
 	for _, alg := range table2Algorithms {
 		row := []string{alg.String()}
 		for _, g := range graphs {
-			serial := runCC(g, alg, 1, cfg.Trials, cfg.Seed)
+			serial := runCC(g, alg, 1, cfg.Trials, cfg.Seed, cfg.Recorder)
 			var par time.Duration
 			switch {
 			case alg == parconn.SerialSF:
@@ -115,7 +120,7 @@ func Table2(cfg Config) {
 			case cfg.Procs == 1:
 				par = serial // identical configuration; don't re-measure
 			default:
-				par = runCC(g, alg, cfg.Procs, cfg.Trials, cfg.Seed)
+				par = runCC(g, alg, cfg.Procs, cfg.Trials, cfg.Seed, cfg.Recorder)
 			}
 			row = append(row, Seconds(serial), dashIfZero(par))
 		}
@@ -146,7 +151,7 @@ func Fig2(cfg Config) {
 			if alg == parconn.SerialSF {
 				// Sequential: a single column repeated for reference.
 				row := []string{alg.String()}
-				d := runCC(g, alg, 1, cfg.Trials, cfg.Seed)
+				d := runCC(g, alg, 1, cfg.Trials, cfg.Seed, cfg.Recorder)
 				for range cfg.Threads {
 					row = append(row, Seconds(d))
 				}
@@ -155,7 +160,7 @@ func Fig2(cfg Config) {
 			}
 			row := []string{alg.String()}
 			for _, th := range cfg.Threads {
-				row = append(row, Seconds(runCC(g, alg, th, cfg.Trials, cfg.Seed)))
+				row = append(row, Seconds(runCC(g, alg, th, cfg.Trials, cfg.Seed, cfg.Recorder)))
 			}
 			t.Add(row...)
 		}
@@ -342,7 +347,7 @@ func Fig8(cfg Config) {
 			continue
 		}
 		g := parconn.RandomGraph(n, 5, cfg.Seed+uint64(frac))
-		d := runCC(g, parconn.DecompArbHybrid, cfg.Procs, cfg.Trials, cfg.Seed)
+		d := runCC(g, parconn.DecompArbHybrid, cfg.Procs, cfg.Trials, cfg.Seed, cfg.Recorder)
 		t.Addf(m, n, Seconds(d))
 	}
 	emit(cfg, t, "fig8", "Figure 8. decomp-arb-hybrid-CC time vs problem size, random graphs (procs=%d, scale=%.3g)\n", cfg.Procs, cfg.Scale)

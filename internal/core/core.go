@@ -20,13 +20,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"parconn/internal/decomp"
 	"parconn/internal/graph"
 	"parconn/internal/hashtable"
 	"parconn/internal/intsort"
+	"parconn/internal/obs"
 	"parconn/internal/parallel"
 	"parconn/internal/workspace"
 )
@@ -83,11 +88,20 @@ type Options struct {
 	// Dedup selects duplicate-edge removal during contraction.
 	Dedup DedupMode
 	// Phases, if non-nil, accumulates per-phase wall time across all levels
-	// (Figures 5-7).
+	// (Figures 5-7). It is a compatibility view over the Recorder event
+	// stream: CC folds it into Recorder via decomp.PhasesRecorder.
 	Phases *decomp.PhaseTimes
 	// Levels, if non-nil, receives one entry per recursion level
-	// (Figure 4's remaining-edge counts).
+	// (Figure 4's remaining-edge counts). Like Phases, a compatibility view
+	// folded into Recorder via LevelsRecorder.
 	Levels *[]LevelStat
+	// Recorder, if non-nil, receives the structured event stream: level
+	// start/end, per-round, per-phase, and end-of-run counter events (see
+	// internal/obs). With a Recorder attached, decomposition levels also run
+	// under pprof labels (parconn_level / parconn_phase) so CPU profiles
+	// attribute samples to the recursion structure. nil costs one pointer
+	// test per site.
+	Recorder obs.Recorder
 	// Pool, if non-nil, supplies the worker pool for the run's parallel
 	// sections; nil means the shared parallel.Default pool.
 	Pool *parallel.Pool
@@ -148,7 +162,29 @@ type ccMachine struct {
 	fnIsCenter, fnCenters, fnOffs, fnPairs   func(lo, hi int)
 	fnInsert, fnPresent, fnRep               func(lo, hi int)
 	fnSubAdj, fnSubDeg, fnRelabel, fnUnseenQ func(lo, hi int)
+
+	// Bound pprof.Do bodies for the recorder path: per-level closure
+	// literals would heap-allocate at each of the O(levels) creations, so
+	// the arguments flow through the fields below instead.
+	dopt                                 decomp.Options
+	stepW, stepSub                       *decomp.WGraph
+	stepLabels                           []int32
+	decompRes                            decomp.Result
+	decompErr                            error
+	ctRep, ctPresent, ctCompact, ctNewID []int32
+	ctEdgesOut                           int64
+	fnDecompose, fnContract              func(context.Context)
 }
+
+// levelLabels precomputes the pprof label values for every possible
+// recursion depth so labeling allocates nothing per level.
+var levelLabels = func() [maxLevels + 1]string {
+	var a [maxLevels + 1]string
+	for i := range a {
+		a[i] = strconv.Itoa(i)
+	}
+	return a
+}()
 
 // machinePool recycles ccMachines across CC calls; a machine is exclusively
 // owned between Get and Put.
@@ -261,6 +297,13 @@ func newCCMachine() *ccMachine {
 			}
 		}
 	}
+	m.fnDecompose = func(context.Context) {
+		m.decompRes, m.decompErr = decomp.Decompose(m.stepW, m.opt.Variant, m.dopt)
+	}
+	m.fnContract = func(context.Context) {
+		m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID, m.ctEdgesOut =
+			m.contract(m.stepW, m.stepSub, m.stepLabels)
+	}
 	return m
 }
 
@@ -272,6 +315,10 @@ func (m *ccMachine) reset() {
 	m.offs, m.pairs = nil, nil
 	m.present, m.compact, m.rep = nil, nil, nil
 	m.subOffs, m.subAdj, m.subDeg, m.subLabels = nil, nil, nil, nil
+	m.dopt = decomp.Options{}
+	m.stepW, m.stepSub, m.stepLabels = nil, nil, nil
+	m.decompRes, m.decompErr = decomp.Result{}, nil
+	m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID = nil, nil, nil, nil
 }
 
 // CC computes a connected-components labeling of g. The returned labeling
@@ -283,9 +330,22 @@ func CC(g *graph.Graph, opt Options) ([]int32, error) {
 	if opt.Beta == 0 {
 		opt.Beta = 0.2
 	}
-	if opt.Beta <= 0 || opt.Beta >= 1 {
+	// Negated comparison so NaN (which fails every ordered comparison) is
+	// rejected rather than waved through into the shift computation.
+	if !(opt.Beta > 0 && opt.Beta < 1) {
 		return nil, fmt.Errorf("core: beta %v out of (0,1)", opt.Beta)
 	}
+	// Fold the legacy telemetry sinks into the event stream so the recursion
+	// consults a single Recorder. The guard keeps the fully-disabled path
+	// allocation-free (Multi builds a slice).
+	if opt.Levels != nil || opt.Phases != nil {
+		opt.Recorder = obs.Multi(opt.Recorder, LevelsRecorder(opt.Levels), decomp.PhasesRecorder(opt.Phases))
+		opt.Levels, opt.Phases = nil, nil
+	}
+	// The setup stopwatch opens before the machine is acquired so a cold
+	// pool miss (closure binding, levels array) is charged to a phase
+	// rather than silently widening the wall-vs-phases gap.
+	tSetup := now()
 	m := machinePool.Get().(*ccMachine)
 	m.opt = opt
 	m.procs = opt.Procs
@@ -297,9 +357,24 @@ func CC(g *graph.Graph, opt Options) ([]int32, error) {
 	if m.ws == nil {
 		m.ws = workspace.Default()
 	}
+	rec := opt.Recorder
+	var joins0, reused0, alloc0 int64
+	if rec != nil {
+		joins0 = m.pool.Joins()
+		reused0, alloc0 = m.ws.Stats()
+	}
 	w := &m.levels[0]
 	w.InitFrom(m.ws, g, opt.Procs)
+	if rec != nil {
+		rec.Phase(obs.Phase{Level: 0, Name: obs.PhaseSetup, Duration: time.Since(tSetup)})
+	}
 	labels, err := m.ccLevel(w, 0)
+	if rec != nil {
+		reused1, alloc1 := m.ws.Stats()
+		rec.Counter(obs.Counter{Name: obs.CounterArenaReused, Value: reused1 - reused0})
+		rec.Counter(obs.Counter{Name: obs.CounterArenaAlloc, Value: alloc1 - alloc0})
+		rec.Counter(obs.Counter{Name: obs.CounterPoolJoins, Value: m.pool.Joins() - joins0})
+	}
 	// The level-0 Offs belong to the caller's graph; only the working
 	// copy's Adj/Deg go back to the arena.
 	m.ws.PutInt32(w.Adj)
@@ -322,54 +397,96 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 		return []int32{}, nil
 	}
 	procs := m.procs
-	edgesIn := w.LiveEdges(procs)
+	rec := m.opt.Recorder
 
 	// Step 1: decompose. Each level derives an independent seed so repeated
-	// decompositions do not reuse the same permutation.
+	// decompositions do not reuse the same permutation. With a recorder
+	// attached the level opens with its entering sizes (LiveEdges is a
+	// parallel reduction, skipped entirely when observability is off) and
+	// the decomposition runs under pprof labels.
 	dopt := decomp.Options{
 		Beta:         m.opt.Beta,
 		Seed:         m.opt.Seed + uint64(level)*0x9e3779b97f4a7c15,
 		Procs:        procs,
 		DenseFrac:    m.opt.DenseFrac,
 		EdgeParallel: m.opt.EdgeParallel,
-		Phases:       m.opt.Phases,
+		Recorder:     rec,
+		Level:        level,
 		Pool:         m.pool,
 		Workspace:    m.ws,
 		Scratch:      &m.scratch,
 	}
-	res, err := decomp.Decompose(w, m.opt.Variant, dopt)
+	var edgesIn int64
+	var dMeasure time.Duration
+	var res decomp.Result
+	var err error
+	if rec == nil {
+		res, err = decomp.Decompose(w, m.opt.Variant, dopt)
+	} else {
+		tM := now()
+		edgesIn = w.LiveEdges(procs)
+		dMeasure = time.Since(tM)
+		rec.LevelStart(obs.LevelStart{Level: level, Vertices: w.N, EdgesIn: edgesIn})
+		m.stepW, m.dopt = w, dopt
+		pprof.Do(context.Background(),
+			pprof.Labels("parconn_level", levelLabels[level], "parconn_phase", "decompose"),
+			m.fnDecompose)
+		res, err = m.decompRes, m.decompErr
+		m.stepW, m.decompRes, m.decompErr = nil, decomp.Result{}, nil
+	}
 	if err != nil {
 		return nil, err
 	}
 	labels := res.Labels // labels[v] = center id owning v
 
+	tM := now()
 	cut := w.LiveEdges(procs)
-	stat := LevelStat{
+	if rec != nil {
+		// The per-level edge reductions are pure observability overhead;
+		// charging them to their own phase keeps the phase-duration sum an
+		// honest account of the wall time.
+		rec.Phase(obs.Phase{Level: level, Name: obs.PhaseMeasure, Duration: dMeasure + time.Since(tM)})
+	}
+	end := obs.LevelEnd{
 		Level:      level,
 		Vertices:   w.N,
 		EdgesIn:    edgesIn,
 		EdgesCut:   cut,
 		Components: res.NumCenters,
 		Rounds:     res.Rounds,
+		CASRetries: res.CASRetries,
 	}
 	if cut == 0 {
 		// Base case (|E'| == 0): every component was swallowed by a single
 		// ball; the decomposition labels are the final labels.
-		if m.opt.Levels != nil {
-			*m.opt.Levels = append(*m.opt.Levels, stat)
+		if rec != nil {
+			rec.LevelEnd(end)
 		}
 		return labels, nil
 	}
 
-	// Step 2: contract (timed as the paper's "contractGraph" phase).
-	sw := startContract(m.opt.Phases)
+	// Step 2: contract (timed as the paper's "contractGraph" phase; under
+	// pprof labels on the recorder path, via the bound closure).
+	tCt := now()
 	sub := &m.levels[level+1]
-	rep, present, compact, newID, edgesOut := m.contract(w, sub, labels)
-	stat.EdgesOut = edgesOut
-	if m.opt.Levels != nil {
-		*m.opt.Levels = append(*m.opt.Levels, stat)
+	var rep, present, compact, newID []int32
+	var edgesOut int64
+	if rec == nil {
+		rep, present, compact, newID, edgesOut = m.contract(w, sub, labels)
+	} else {
+		m.stepW, m.stepSub, m.stepLabels = w, sub, labels
+		pprof.Do(context.Background(),
+			pprof.Labels("parconn_level", levelLabels[level], "parconn_phase", "contract"),
+			m.fnContract)
+		rep, present, compact, newID, edgesOut = m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID, m.ctEdgesOut
+		m.stepW, m.stepSub, m.stepLabels = nil, nil, nil
+		m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID = nil, nil, nil, nil
 	}
-	sw.stop(m.opt.Phases)
+	ctDur := time.Since(tCt)
+	if rec != nil {
+		end.EdgesOut = edgesOut
+		rec.LevelEnd(end)
+	}
 
 	// Step 3: recurse on the contracted graph.
 	subLabels, err := m.ccLevel(sub, level+1)
@@ -386,11 +503,16 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 	// Step 4: RELABELUP through the bound closure; the coordinator re-aims
 	// the machine fields at this level's arrays (they sat in locals across
 	// the recursive call, which reused the fields for deeper levels).
-	sw = startContract(m.opt.Phases)
+	// Relabeling is charged to this level's contract phase, so the Phase
+	// event lands after the deeper levels' events — sinks accumulate by
+	// (level, name), not by arrival order.
+	tRl := now()
 	m.labels, m.newID, m.present, m.compact, m.rep, m.subLabels =
 		labels, newID, present, compact, rep, subLabels
 	m.pool.Blocks(procs, w.N, 0, m.fnRelabel)
-	sw.stop(m.opt.Phases)
+	if rec != nil {
+		rec.Phase(obs.Phase{Level: level, Name: obs.PhaseContract, Duration: ctDur + time.Since(tRl)})
+	}
 
 	m.ws.PutInt32(newID)
 	m.ws.PutInt32(present)

@@ -1,0 +1,48 @@
+package core
+
+import "parconn/internal/obs"
+
+// Compatibility bridge between the legacy LevelStat telemetry and the obs
+// event stream; see the matching PhaseTimes bridge in internal/decomp.
+
+// LevelStatFrom converts one LevelEnd event to the legacy per-level shape.
+func LevelStatFrom(e obs.LevelEnd) LevelStat {
+	return LevelStat{
+		Level:      e.Level,
+		Vertices:   e.Vertices,
+		EdgesIn:    e.EdgesIn,
+		EdgesCut:   e.EdgesCut,
+		EdgesOut:   e.EdgesOut,
+		Components: e.Components,
+		Rounds:     e.Rounds,
+	}
+}
+
+// LevelStatsFrom rebuilds the legacy per-level slice from a trace's
+// LevelEnd events.
+func LevelStatsFrom(ends []obs.LevelEnd) []LevelStat {
+	out := make([]LevelStat, len(ends))
+	for i, e := range ends {
+		out[i] = LevelStatFrom(e)
+	}
+	return out
+}
+
+// levelsSink appends LevelEnd events to a legacy LevelStat slice.
+type levelsSink struct {
+	obs.Nop
+	ls *[]LevelStat
+}
+
+func (s *levelsSink) LevelEnd(e obs.LevelEnd) {
+	*s.ls = append(*s.ls, LevelStatFrom(e))
+}
+
+// LevelsRecorder returns a Recorder that appends LevelEnd events to ls, or
+// nil when ls is nil.
+func LevelsRecorder(ls *[]LevelStat) obs.Recorder {
+	if ls == nil {
+		return nil
+	}
+	return &levelsSink{ls: ls}
+}

@@ -1,27 +1,11 @@
 package core
 
-import (
-	"time"
+import "time"
 
-	"parconn/internal/decomp"
-)
-
-// contractWatch accumulates elapsed time into PhaseTimes.Contract; it is a
-// no-op when phase collection is off.
-type contractWatch struct {
-	start time.Time
-	on    bool
-}
-
-func startContract(p *decomp.PhaseTimes) contractWatch {
-	if p == nil {
-		return contractWatch{}
-	}
-	return contractWatch{start: time.Now(), on: true} //parconn:allow norand contract-phase stopwatch only; no algorithmic use of the clock
-}
-
-func (c contractWatch) stop(p *decomp.PhaseTimes) {
-	if c.on {
-		p.Contract += time.Since(c.start)
-	}
+// now is the single clock read for phase timing in this package. The
+// stopwatch is diagnostic instrumentation, not algorithmic state: core
+// draws all randomness from the injected seed, so a wall-clock read here
+// cannot influence results or reproducibility.
+func now() time.Time {
+	return time.Now() //parconn:allow norand phase-timing stopwatch only; algorithmic randomness comes from injected seeds
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parconn/internal/obs"
 	"parconn/internal/parallel"
 )
 
@@ -11,6 +12,10 @@ import (
 // time. It is small because per-vertex work is proportional to degree and
 // degrees can be highly skewed.
 const frontierGrain = 256
+
+// retryShards sizes the per-machine sharded CAS-retry accumulator; block
+// indices hash into it, so it only needs to cover plausible worker counts.
+const retryShards = 64
 
 // arbMachine runs Algorithm 3 of the paper: one pass per round over the
 // frontier's edges; the first CAS to reach an unvisited vertex wins it. The
@@ -27,12 +32,13 @@ type arbMachine struct {
 	base             int
 	edgeParallel     int
 	cursor           atomic.Int64
+	retries          *obs.ShardedInt64
 
 	fnPre, fnMain func(lo, hi int)
 }
 
 func newArbMachine() *arbMachine {
-	m := &arbMachine{}
+	m := &arbMachine{retries: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
 	// shift falls below the current round (paper lines 5-6).
 	m.fnPre = func(lo, hi int) {
@@ -52,10 +58,13 @@ func newArbMachine() *arbMachine {
 		}
 	}
 	// bfsMain: single pass over the frontier's edges (paper lines 9-20).
+	// Lost CAS races accumulate in a block-local counter flushed once per
+	// claimed block — never a Recorder call from inside the section.
 	m.fnMain = func(lo, hi int) {
 		g, c, parents, cur, nxt := m.g, m.c, m.parents, m.cur, m.nxt
 		procs := m.procs
 		cursor := &m.cursor
+		var casFail int64
 		for fi := lo; fi < hi; fi++ {
 			v := cur[fi]
 			cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
@@ -68,13 +77,17 @@ func newArbMachine() *arbMachine {
 			var k int64
 			for i := int64(0); i < d; i++ {
 				w := g.Adj[start+i]
-				if atomic.LoadInt32(&c[w]) == unvisited &&
-					atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
-					if parents != nil {
-						parents[w] = v
+				if atomic.LoadInt32(&c[w]) == unvisited {
+					if atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
+						if parents != nil {
+							parents[w] = v
+						}
+						nxt[cursor.Add(1)-1] = w
+						continue
 					}
-					nxt[cursor.Add(1)-1] = w
-				} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
+					casFail++ // raced for w and lost to another frontier vertex
+				}
+				if cw := atomic.LoadInt32(&c[w]); cw != cv {
 					// Inter-component edge: keep it, relabeled to the
 					// neighbor's component id (paper line 18).
 					g.Adj[start+k] = cw
@@ -83,6 +96,7 @@ func newArbMachine() *arbMachine {
 			}
 			g.Deg[v] = int32(k)
 		}
+		m.retries.Add(lo/frontierGrain, casFail)
 	}
 	return m
 }
@@ -92,11 +106,13 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
+	t0 := now()
 	pool, ws := opt.resolve()
 	m.pool, m.procs, m.g = pool, procs, g
 	m.edgeParallel = opt.EdgeParallel
+	rec := opt.Recorder
+	m.retries.Reset()
 
-	t0 := now()
 	c := ws.Int32(n)
 	parallel.Fill(procs, c, unvisited)
 	var parents []int32
@@ -115,10 +131,10 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	bufs[0] = ws.Int32(n)
 	bufs[1] = ws.Int32(n)
 	curBuf, curN := 0, 0
-	if opt.Phases != nil {
-		opt.Phases.Init += time.Since(t0)
-	}
+	phInit := time.Since(t0)
 
+	var phPre, phMain time.Duration
+	var prevRetries int64
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
 	for visited < n {
@@ -138,9 +154,8 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 			curN += added
 			numCenters += added
 		}
-		if opt.Phases != nil {
-			opt.Phases.BFSPre += time.Since(tPre)
-		}
+		dPre := time.Since(tPre)
+		phPre += dPre
 		if curN == 0 {
 			if permPtr >= n {
 				break // all vertices visited; loop condition ends next check
@@ -149,17 +164,21 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 			// to the next round that yields new centers.
 			continue
 		}
-		if opt.Rounds != nil {
-			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added})
-		}
 
 		tMain := now()
 		m.cur = bufs[curBuf][:curN]
 		m.nxt = bufs[1-curBuf]
 		m.cursor.Store(0)
 		pool.Blocks(procs, curN, frontierGrain, m.fnMain)
-		if opt.Phases != nil {
-			opt.Phases.BFSMain += time.Since(tMain)
+		dMain := time.Since(tMain)
+		phMain += dMain
+		if rec != nil {
+			sum := m.retries.Sum()
+			rec.Round(obs.Round{
+				Level: opt.Level, Round: round, Frontier: curN, NewCenters: added,
+				Duration: dPre + dMain, CASRetries: sum - prevRetries,
+			})
+			prevRetries = sum
 		}
 		// Count the frontier we just processed as visited (paper line 7);
 		// counting at claim time instead would end the loop before the last
@@ -171,6 +190,12 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 		workRounds++
 	}
 
+	if rec != nil {
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseInit, Duration: phInit})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSPre, Duration: phPre})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSMain, Duration: phMain})
+	}
+
 	// Release everything but the labels, whose ownership transfers to the
 	// caller, and drop the machine's aliases so the arena's next owner of
 	// these buffers is truly exclusive.
@@ -178,5 +203,5 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(bufs[0])
 	ws.PutInt32(bufs[1])
 	m.g, m.c, m.parents, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
-	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, Parents: parents}
+	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, Parents: parents, CASRetries: m.retries.Sum()}
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"parconn/internal/obs"
 	"parconn/internal/parallel"
 	"parconn/internal/prand"
 	"parconn/internal/workspace"
@@ -84,10 +85,21 @@ type Options struct {
 	// Zero disables it — the paper's final configuration, which found no
 	// benefit at modest core counts. Currently honored by the Arb variant.
 	EdgeParallel int
-	// Phases, if non-nil, accumulates wall-clock time per phase.
+	// Phases, if non-nil, accumulates wall-clock time per phase. It is a
+	// compatibility view over the Recorder event stream: Decompose folds it
+	// into Recorder via PhasesRecorder.
 	Phases *PhaseTimes
-	// Rounds, if non-nil, receives one entry per BFS round.
+	// Rounds, if non-nil, receives one entry per BFS round. Like Phases, it
+	// is folded into Recorder via RoundsRecorder.
 	Rounds *[]RoundStat
+	// Recorder, if non-nil, receives the structured event stream (one Round
+	// event per BFS round, per-phase durations, CAS retry counts); see
+	// internal/obs. Recorder methods are invoked only by the coordinating
+	// goroutine, between parallel sections. nil costs one pointer test.
+	Recorder obs.Recorder
+	// Level tags emitted events with the contraction recursion depth; the
+	// connectivity driver sets it, standalone decompositions leave it 0.
+	Level int
 	// WantParents asks the Arb variant to record the BFS tree: the claim
 	// edges (parent[w] = the frontier vertex whose CAS captured w; centers
 	// are their own parents). The per-cluster trees are exactly the
@@ -136,11 +148,17 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) validate() error {
-	if o.Beta <= 0 || o.Beta >= 1 {
+	// The negated comparisons are NaN-proof: NaN fails every ordered
+	// comparison, so "x <= 0 || x >= 1" would wave NaN through into the
+	// shift computation.
+	if !(o.Beta > 0 && o.Beta < 1) {
 		return fmt.Errorf("decomp: beta %v out of (0,1)", o.Beta)
 	}
-	if o.DenseFrac < 0 || o.DenseFrac > 1 {
+	if !(o.DenseFrac >= 0 && o.DenseFrac <= 1) {
 		return fmt.Errorf("decomp: dense fraction %v out of [0,1]", o.DenseFrac)
+	}
+	if o.EdgeParallel < 0 {
+		return fmt.Errorf("decomp: edge-parallel threshold %d negative", o.EdgeParallel)
 	}
 	return nil
 }
@@ -189,6 +207,10 @@ type Result struct {
 	// centers have Parents[c] == c. Within each partition the parent edges
 	// form a shortest-path tree rooted at the center.
 	Parents []int32
+	// CASRetries counts lost CAS/writeMin races across the whole
+	// decomposition — the contention the paper's arbitrary tie-breaking
+	// tolerates instead of serializing.
+	CASRetries int64
 }
 
 // Decompose runs the selected variant on g, destructively (see package doc).
@@ -196,6 +218,13 @@ func Decompose(g *WGraph, variant Variant, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return Result{}, err
+	}
+	// Fold the legacy telemetry sinks into the event stream so the machines
+	// consult a single Recorder. The guard keeps the fully-disabled path
+	// allocation-free (Multi builds a slice).
+	if opt.Phases != nil || opt.Rounds != nil {
+		opt.Recorder = obs.Multi(opt.Recorder, PhasesRecorder(opt.Phases), RoundsRecorder(opt.Rounds))
+		opt.Phases, opt.Rounds = nil, nil
 	}
 	sc := opt.Scratch
 	if sc == nil {

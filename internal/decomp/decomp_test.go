@@ -437,16 +437,16 @@ func TestPackPairOrdering(t *testing.T) {
 
 func TestWriteMin(t *testing.T) {
 	v := packPair(minInf, minInf)
-	if !writeMin(&v, packPair(10, 3)) {
+	if ok, _ := writeMin(&v, packPair(10, 3)); !ok {
 		t.Fatal("writeMin to inf failed")
 	}
-	if writeMin(&v, packPair(10, 3)) {
+	if ok, _ := writeMin(&v, packPair(10, 3)); ok {
 		t.Fatal("writeMin of equal value succeeded")
 	}
-	if writeMin(&v, packPair(11, 0)) {
+	if ok, lost := writeMin(&v, packPair(11, 0)); ok || lost != 0 {
 		t.Fatal("writeMin of larger value succeeded")
 	}
-	if !writeMin(&v, packPair(9, 100)) {
+	if ok, _ := writeMin(&v, packPair(9, 100)); !ok {
 		t.Fatal("writeMin of smaller value failed")
 	}
 	if pairC1(v) != 9 || pairC2(v) != 100 {

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parconn/internal/obs"
 	"parconn/internal/parallel"
 )
 
@@ -31,12 +32,13 @@ type hybridMachine struct {
 	base                int
 	r32, r32next        int32
 	cursor              atomic.Int64
+	retries             *obs.ShardedInt64
 
 	fnPre, fnDense, fnDenseFront, fnSparse, fnFilter func(lo, hi int)
 }
 
 func newHybridMachine() *hybridMachine {
-	m := &hybridMachine{}
+	m := &hybridMachine{retries: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
 	// shift falls below the current round (paper lines 5-6).
 	m.fnPre = func(lo, hi int) {
@@ -88,10 +90,13 @@ func newHybridMachine() *hybridMachine {
 	// Write-based pass: Decomp-Arb's single CAS pass, except that relabeled
 	// inter-component edges get the sign bit set so the filterEdges pass can
 	// tell them from untouched edges.
+	// Lost CAS races accumulate in a block-local counter flushed once per
+	// claimed block — never a Recorder call from inside the section.
 	m.fnSparse = func(lo, hi int) {
 		g, c, frontRound, cur, nxt := m.g, m.c, m.frontRound, m.cur, m.nxt
 		r32next := m.r32next
 		cursor := &m.cursor
+		var casFail int64
 		for fi := lo; fi < hi; fi++ {
 			v := cur[fi]
 			cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
@@ -100,17 +105,22 @@ func newHybridMachine() *hybridMachine {
 			var k int64
 			for i := int64(0); i < d; i++ {
 				w := g.Adj[start+i]
-				if atomic.LoadInt32(&c[w]) == unvisited &&
-					atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
-					frontRound[w] = r32next
-					nxt[cursor.Add(1)-1] = w
-				} else if cw := atomic.LoadInt32(&c[w]); cw != cv {
+				if atomic.LoadInt32(&c[w]) == unvisited {
+					if atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
+						frontRound[w] = r32next
+						nxt[cursor.Add(1)-1] = w
+						continue
+					}
+					casFail++ // raced for w and lost to another frontier vertex
+				}
+				if cw := atomic.LoadInt32(&c[w]); cw != cv {
 					g.Adj[start+k] = -cw - 1
 					k++
 				}
 			}
 			g.Deg[v] = int32(k)
 		}
+		m.retries.Add(lo/frontierGrain, casFail)
 	}
 	// filterEdges: classify every surviving edge. Vertices processed by
 	// sparse rounds hold only sign-marked (already classified, relabeled)
@@ -145,10 +155,12 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
+	t0 := now()
 	pool, ws := opt.resolve()
 	m.procs, m.g = procs, g
+	rec := opt.Recorder
+	m.retries.Reset()
 
-	t0 := now()
 	c := ws.Int32(n)
 	parallel.Fill(procs, c, unvisited)
 	// frontRound[v] is the round at which v joined the frontier; the dense
@@ -163,10 +175,10 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	bufs[0] = ws.Int32(n)
 	bufs[1] = ws.Int32(n)
 	curBuf, curN := 0, 0
-	if opt.Phases != nil {
-		opt.Phases.Init += time.Since(t0)
-	}
+	phInit := time.Since(t0)
 
+	var phPre, phDense, phSparse time.Duration
+	var prevRetries int64
 	denseThreshold := int(opt.DenseFrac * float64(n))
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
@@ -188,9 +200,8 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 			curN += added
 			numCenters += added
 		}
-		if opt.Phases != nil {
-			opt.Phases.BFSPre += time.Since(tPre)
-		}
+		dPre := time.Since(tPre)
+		phPre += dPre
 		if curN == 0 {
 			if permPtr >= n {
 				break // all vertices visited; loop condition ends next check
@@ -200,13 +211,11 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 			continue
 		}
 		dense := curN > denseThreshold
-		if opt.Rounds != nil {
-			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added, Dense: dense})
-		}
 		m.cur = bufs[curBuf][:curN]
 		m.nxt = bufs[1-curBuf]
 		m.cursor.Store(0)
 
+		var dRound time.Duration
 		if dense {
 			tDense := now()
 			m.r32 = int32(round)
@@ -214,16 +223,22 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 			newN := int(m.cursor.Load())
 			m.r32next = int32(round + 1)
 			pool.Blocks(procs, newN, 0, m.fnDenseFront)
-			if opt.Phases != nil {
-				opt.Phases.BFSDense += time.Since(tDense)
-			}
+			dRound = time.Since(tDense)
+			phDense += dRound
 		} else {
 			tSparse := now()
 			m.r32next = int32(round + 1)
 			pool.Blocks(procs, curN, frontierGrain, m.fnSparse)
-			if opt.Phases != nil {
-				opt.Phases.BFSSparse += time.Since(tSparse)
-			}
+			dRound = time.Since(tSparse)
+			phSparse += dRound
+		}
+		if rec != nil {
+			sum := m.retries.Sum()
+			rec.Round(obs.Round{
+				Level: opt.Level, Round: round, Frontier: curN, NewCenters: added,
+				Dense: dense, Duration: dPre + dRound, CASRetries: sum - prevRetries,
+			})
+			prevRetries = sum
 		}
 		// Count the frontier we just processed as visited (paper line 7);
 		// counting at claim time instead would end the loop before the last
@@ -237,8 +252,14 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 
 	tFilter := now()
 	pool.Blocks(procs, n, frontierGrain, m.fnFilter)
-	if opt.Phases != nil {
-		opt.Phases.FilterEdges += time.Since(tFilter)
+	dFilter := time.Since(tFilter)
+
+	if rec != nil {
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseInit, Duration: phInit})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSPre, Duration: phPre})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSSparse, Duration: phSparse})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSDense, Duration: phDense})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseFilterEdges, Duration: dFilter})
 	}
 
 	// Release everything but the labels, whose ownership transfers to the
@@ -249,5 +270,5 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(bufs[1])
 	ws.PutInt32(frontRound)
 	m.g, m.c, m.frontRound, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
-	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds}
+	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, CASRetries: m.retries.Sum()}
 }

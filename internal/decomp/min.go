@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parconn/internal/obs"
 	"parconn/internal/parallel"
 	"parconn/internal/prand"
 )
@@ -35,16 +36,19 @@ func pairC1(p int64) int32        { return int32(p >> 32) }
 func pairC2(p int64) int32        { return int32(uint32(p)) }
 
 // writeMin atomically lowers *loc to val if val is smaller; it reports
-// whether it changed *loc (§2 of the paper).
-func writeMin(loc *int64, val int64) bool {
+// whether it changed *loc (§2 of the paper) and how many CAS attempts were
+// lost to concurrent writers along the way (the contention signal the
+// observability layer surfaces per round).
+func writeMin(loc *int64, val int64) (changed bool, lost int64) {
 	for {
 		cur := atomic.LoadInt64(loc)
 		if val >= cur {
-			return false
+			return false, lost
 		}
 		if atomic.CompareAndSwapInt64(loc, cur, val) {
-			return true
+			return true, lost
 		}
+		lost++
 	}
 }
 
@@ -64,6 +68,7 @@ type minMachine struct {
 	base            int
 	labels          []int32
 	cursor          atomic.Int64
+	retries         *obs.ShardedInt64
 	fnPre, fnPhase1 func(lo, hi int)
 	fnPhase2        func(lo, hi int)
 	fnUnsign        func(lo, hi int)
@@ -71,7 +76,7 @@ type minMachine struct {
 }
 
 func newMinMachine() *minMachine {
-	m := &minMachine{}
+	m := &minMachine{retries: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
 	// shift falls below the current round.
 	m.fnPre = func(lo, hi int) {
@@ -89,8 +94,11 @@ func newMinMachine() *minMachine {
 	}
 	// Phase 1 (paper lines 9-23): mark unvisited neighbors with writeMin;
 	// edges to already-visited neighbors are classified now.
+	// Lost writeMin races accumulate in a block-local counter flushed once
+	// per claimed block — never a Recorder call from inside the section.
 	m.fnPhase1 = func(lo, hi int) {
 		g, c, deltaFrac, cur := m.g, m.c, m.deltaFrac, m.cur
+		var casFail int64
 		for fi := lo; fi < hi; fi++ {
 			v := cur[fi]
 			cv := pairC2(atomic.LoadInt64(&c[v]))
@@ -106,7 +114,8 @@ func newMinMachine() *minMachine {
 					// it, and keep the edge — its status is unknown
 					// until all writeMins land.
 					if mark < cw {
-						writeMin(&c[w], mark)
+						_, lost := writeMin(&c[w], mark)
+						casFail += lost
 					}
 					g.Adj[start+k] = w
 					k++
@@ -120,12 +129,14 @@ func newMinMachine() *minMachine {
 			}
 			g.Deg[v] = int32(k)
 		}
+		m.retries.Add(lo/frontierGrain, casFail)
 	}
 	// Phase 2 (paper lines 24-39): the centers whose mark survived claim
 	// their neighbors with a CAS; remaining edges are classified.
 	m.fnPhase2 = func(lo, hi int) {
 		g, c, deltaFrac, cur, nxt := m.g, m.c, m.deltaFrac, m.cur, m.nxt
 		cursor := &m.cursor
+		var casFail int64
 		for fi := lo; fi < hi; fi++ {
 			v := cur[fi]
 			cv := pairC2(atomic.LoadInt64(&c[v]))
@@ -152,6 +163,7 @@ func newMinMachine() *minMachine {
 					}
 					// A same-component peer got there first; the slot
 					// now holds (-1, cv).
+					casFail++
 					cw = atomic.LoadInt64(&c[w])
 				}
 				if cw2 := pairC2(cw); cw2 != cv {
@@ -161,6 +173,7 @@ func newMinMachine() *minMachine {
 			}
 			g.Deg[v] = int32(k)
 		}
+		m.retries.Add(lo/frontierGrain, casFail)
 	}
 	// Unset the sign bits of the surviving (inter-component) edges so the
 	// contraction phase sees plain component ids.
@@ -191,10 +204,12 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	if n == 0 {
 		return Result{Labels: []int32{}}
 	}
+	t0 := now()
 	pool, ws := opt.resolve()
 	m.procs, m.g = procs, g
+	rec := opt.Recorder
+	m.retries.Reset()
 
-	t0 := now()
 	c := ws.Int64(n)
 	parallel.Fill(procs, c, packPair(minInf, minInf))
 	// deltaFrac[v] simulates the fractional part of v's exponential shift;
@@ -213,10 +228,10 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	bufs[0] = ws.Int32(n)
 	bufs[1] = ws.Int32(n)
 	curBuf, curN := 0, 0
-	if opt.Phases != nil {
-		opt.Phases.Init += time.Since(t0)
-	}
+	phInit := time.Since(t0)
 
+	var phPre, phPhase1, phPhase2 time.Duration
+	var prevRetries int64
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
 	for visited < n {
@@ -236,9 +251,8 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 			curN += added
 			numCenters += added
 		}
-		if opt.Phases != nil {
-			opt.Phases.BFSPre += time.Since(tPre)
-		}
+		dPre := time.Since(tPre)
+		phPre += dPre
 		if curN == 0 {
 			if permPtr >= n {
 				break // all vertices visited; loop condition ends next check
@@ -247,23 +261,26 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 			// to the next round that yields new centers.
 			continue
 		}
-		if opt.Rounds != nil {
-			*opt.Rounds = append(*opt.Rounds, RoundStat{Round: round, Frontier: curN, NewCenters: added})
-		}
 		m.cur = bufs[curBuf][:curN]
 		m.nxt = bufs[1-curBuf]
 		m.cursor.Store(0)
 
 		t1 := now()
 		pool.Blocks(procs, curN, frontierGrain, m.fnPhase1)
-		if opt.Phases != nil {
-			opt.Phases.BFSPhase1 += time.Since(t1)
-		}
+		d1 := time.Since(t1)
+		phPhase1 += d1
 
 		t2 := now()
 		pool.Blocks(procs, curN, frontierGrain, m.fnPhase2)
-		if opt.Phases != nil {
-			opt.Phases.BFSPhase2 += time.Since(t2)
+		d2 := time.Since(t2)
+		phPhase2 += d2
+		if rec != nil {
+			sum := m.retries.Sum()
+			rec.Round(obs.Round{
+				Level: opt.Level, Round: round, Frontier: curN, NewCenters: added,
+				Duration: dPre + d1 + d2, CASRetries: sum - prevRetries,
+			})
+			prevRetries = sum
 		}
 		// Count the frontier we just processed as visited (paper line 7);
 		// counting at claim time instead would end the loop before the last
@@ -280,8 +297,13 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	labels := ws.Int32(n)
 	m.labels = labels
 	pool.Blocks(procs, n, 0, m.fnLabels)
-	if opt.Phases != nil {
-		opt.Phases.BFSPhase2 += time.Since(tEnd)
+	phPhase2 += time.Since(tEnd)
+
+	if rec != nil {
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseInit, Duration: phInit})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSPre, Duration: phPre})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSPhase1, Duration: phPhase1})
+		rec.Phase(obs.Phase{Level: opt.Level, Name: obs.PhaseBFSPhase2, Duration: phPhase2})
 	}
 
 	// Release everything but the labels, whose ownership transfers to the
@@ -293,5 +315,5 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(deltaFrac)
 	ws.PutInt64(c)
 	m.g, m.c, m.deltaFrac, m.perm, m.front, m.cur, m.nxt, m.labels = nil, nil, nil, nil, nil, nil, nil, nil
-	return Result{Labels: labels, NumCenters: numCenters, Rounds: workRounds}
+	return Result{Labels: labels, NumCenters: numCenters, Rounds: workRounds, CASRetries: m.retries.Sum()}
 }

@@ -1,0 +1,90 @@
+package decomp
+
+import (
+	"time"
+
+	"parconn/internal/obs"
+)
+
+// This file is the compatibility bridge between the legacy PhaseTimes /
+// RoundStat telemetry and the obs event stream. The machines emit only obs
+// events; Decompose (and core.CC for the Contract bucket) compose these
+// adapter sinks in front of any caller-supplied sinks, so the old fields on
+// Options keep working as thin views over the stream.
+
+// Add accumulates d into the bucket matching the obs phase name. The setup
+// phase (the connectivity driver's working-graph copy) folds into Init,
+// which predates it. Unknown names are dropped.
+func (p *PhaseTimes) Add(name string, d time.Duration) {
+	switch name {
+	case obs.PhaseInit, obs.PhaseSetup:
+		p.Init += d
+	case obs.PhaseBFSPre:
+		p.BFSPre += d
+	case obs.PhaseBFSPhase1:
+		p.BFSPhase1 += d
+	case obs.PhaseBFSPhase2:
+		p.BFSPhase2 += d
+	case obs.PhaseBFSMain:
+		p.BFSMain += d
+	case obs.PhaseBFSSparse:
+		p.BFSSparse += d
+	case obs.PhaseBFSDense:
+		p.BFSDense += d
+	case obs.PhaseFilterEdges:
+		p.FilterEdges += d
+	case obs.PhaseContract:
+		p.Contract += d
+	}
+}
+
+// PhaseTimesFrom rebuilds the legacy per-phase breakdown from a trace's
+// Phase events.
+func PhaseTimesFrom(phases []obs.Phase) PhaseTimes {
+	var p PhaseTimes
+	for _, e := range phases {
+		p.Add(e.Name, e.Duration)
+	}
+	return p
+}
+
+// phasesSink accumulates Phase events into a legacy PhaseTimes.
+type phasesSink struct {
+	obs.Nop
+	p *PhaseTimes
+}
+
+func (s *phasesSink) Phase(e obs.Phase) { s.p.Add(e.Name, e.Duration) }
+
+// PhasesRecorder returns a Recorder that accumulates Phase events into p,
+// or nil when p is nil.
+func PhasesRecorder(p *PhaseTimes) obs.Recorder {
+	if p == nil {
+		return nil
+	}
+	return &phasesSink{p: p}
+}
+
+// roundsSink appends Round events to a legacy RoundStat slice.
+type roundsSink struct {
+	obs.Nop
+	rs *[]RoundStat
+}
+
+func (s *roundsSink) Round(e obs.Round) {
+	*s.rs = append(*s.rs, RoundStat{
+		Round:      e.Round,
+		Frontier:   e.Frontier,
+		NewCenters: e.NewCenters,
+		Dense:      e.Dense,
+	})
+}
+
+// RoundsRecorder returns a Recorder that appends Round events to rs, or nil
+// when rs is nil.
+func RoundsRecorder(rs *[]RoundStat) obs.Recorder {
+	if rs == nil {
+		return nil
+	}
+	return &roundsSink{rs: rs}
+}

@@ -81,33 +81,49 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n64, m64)
 	}
 	n, m := int(n64), int(m64)
-	g := &Graph{N: n, Offs: make([]int64, n+1), Adj: make([]int32, m)}
-	for i := 0; i <= n; i++ {
-		o, err := get()
-		if err != nil {
-			return nil, fmt.Errorf("graph: reading offset %d: %w", i, err)
+
+	// Grow the offset and adjacency arrays in bounded chunks as payload
+	// bytes actually arrive: a corrupt header claiming a huge n or m then
+	// fails with a truncation error after at most one chunk instead of
+	// attempting a multi-terabyte allocation up front.
+	const chunk = 1 << 16
+	buf := make([]byte, 8*chunk)
+	offs := make([]int64, 0, min(n+1, chunk))
+	for len(offs) < n+1 {
+		k := min(n+1-len(offs), chunk)
+		if _, err := io.ReadFull(br, buf[:8*k]); err != nil {
+			return nil, fmt.Errorf("graph: reading offset %d: %w", len(offs), err)
 		}
-		if o > m64 {
-			return nil, fmt.Errorf("graph: offset %d out of range", i)
-		}
-		g.Offs[i] = int64(o)
-		if i > 0 && g.Offs[i] < g.Offs[i-1] {
-			return nil, fmt.Errorf("graph: offsets not monotone at %d", i)
+		for i := 0; i < k; i++ {
+			o := binary.LittleEndian.Uint64(buf[8*i:])
+			if o > m64 {
+				return nil, fmt.Errorf("graph: offset %d out of range", len(offs))
+			}
+			if len(offs) > 0 && int64(o) < offs[len(offs)-1] {
+				return nil, fmt.Errorf("graph: offsets not monotone at %d", len(offs))
+			}
+			offs = append(offs, int64(o))
 		}
 	}
-	if g.Offs[n] != int64(m) {
-		return nil, fmt.Errorf("graph: final offset %d != m %d", g.Offs[n], m)
+	if offs[0] != 0 {
+		return nil, fmt.Errorf("graph: first offset %d != 0", offs[0])
 	}
-	var s4 [4]byte
-	for i := 0; i < m; i++ {
-		if _, err := io.ReadFull(br, s4[:]); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
-		}
-		e := binary.LittleEndian.Uint32(s4[:])
-		if e >= uint32(n) {
-			return nil, fmt.Errorf("graph: edge target %d out of range", e)
-		}
-		g.Adj[i] = int32(e)
+	if offs[n] != int64(m) {
+		return nil, fmt.Errorf("graph: final offset %d != m %d", offs[n], m)
 	}
-	return g, nil
+	adj := make([]int32, 0, min(m, 2*chunk))
+	for len(adj) < m {
+		k := min(m-len(adj), 2*chunk)
+		if _, err := io.ReadFull(br, buf[:4*k]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", len(adj), err)
+		}
+		for i := 0; i < k; i++ {
+			e := binary.LittleEndian.Uint32(buf[4*i:])
+			if e >= uint32(n) {
+				return nil, fmt.Errorf("graph: edge target %d out of range", e)
+			}
+			adj = append(adj, int32(e))
+		}
+	}
+	return &Graph{N: n, Offs: offs, Adj: adj}, nil
 }

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// binHeader builds a binary-format prefix: magic, n, m, then any extra
+// uint64 words (offsets) the caller supplies.
+func binHeader(n, m uint64, words ...uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(binMagic[:])
+	var s [8]byte
+	for _, v := range append([]uint64{n, m}, words...) {
+		binary.LittleEndian.PutUint64(s[:], v)
+		buf.Write(s[:])
+	}
+	return buf.Bytes()
+}
+
+func TestReadBinaryHugeHeaderTruncated(t *testing.T) {
+	// A 24-byte file whose header claims the maximum plausible sizes must
+	// fail with a read error, not attempt a multi-terabyte allocation.
+	in := binHeader(1<<31-2, 1<<40)
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+		t.Fatal("huge truncated header accepted")
+	} else if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReadBinaryImplausibleSizes(t *testing.T) {
+	for _, tc := range []struct{ n, m uint64 }{
+		{1 << 31, 0},
+		{1, 1 << 41},
+		{^uint64(0), ^uint64(0)},
+	} {
+		in := binHeader(tc.n, tc.m)
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Fatalf("n=%d m=%d accepted", tc.n, tc.m)
+		}
+	}
+}
+
+func TestReadBinaryOffsetInvariants(t *testing.T) {
+	cases := map[string][]byte{
+		// First offset must be zero.
+		"nonzero-first": binHeader(2, 2, 1, 1, 2, 0, 0),
+		// Offsets must be monotone.
+		"non-monotone": binHeader(2, 2, 0, 2, 1),
+		// No offset may exceed m.
+		"beyond-m": binHeader(2, 2, 0, 3, 2),
+		// Final offset must equal m.
+		"final-mismatch": binHeader(2, 2, 0, 1, 1, 0, 0),
+	}
+	for name, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadBinaryTruncatedPayload(t *testing.T) {
+	g := RMat(6, RMatOptions{EdgeFactor: 4, Seed: 7})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for cut := 0; cut < len(good); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadBinaryLargeRoundTrip(t *testing.T) {
+	// Exceed one read chunk (1<<16 entries) in both arrays so the chunked
+	// loops exercise their continuation paths.
+	g := RMat(17, RMatOptions{EdgeFactor: 2, Seed: 3})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N || len(got.Adj) != len(g.Adj) {
+		t.Fatalf("shape mismatch: n=%d/%d m=%d/%d", got.N, g.N, len(got.Adj), len(g.Adj))
+	}
+	for i := range g.Offs {
+		if got.Offs[i] != g.Offs[i] {
+			t.Fatalf("offset %d mismatch", i)
+		}
+	}
+	for i := range g.Adj {
+		if got.Adj[i] != g.Adj[i] {
+			t.Fatalf("adj %d mismatch", i)
+		}
+	}
+}

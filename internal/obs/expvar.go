@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// ExpvarSink is a Recorder that aggregates the event stream into
+// expvar-published counters, for long-running embedders that already expose
+// /debug/vars. Published variables (all prefixed, default "parconn_"):
+//
+//	<p>runs, <p>components, <p>levels, <p>rounds, <p>cas_retries,
+//	<p>run_ns, <p>phase_ns_<name>, <p>arena_reused_bytes,
+//	<p>arena_alloc_bytes, <p>pool_worker_joins, <p>errors
+//
+// Counters are cumulative across runs and survive for the process lifetime;
+// expvar registration is permanent, so creating a second sink with the same
+// prefix reuses the existing variables instead of panicking.
+type ExpvarSink struct {
+	Nop
+	prefix string
+
+	runs       *expvar.Int
+	errors     *expvar.Int
+	components *expvar.Int
+	levels     *expvar.Int
+	rounds     *expvar.Int
+	casRetries *expvar.Int
+	runNS      *expvar.Int
+
+	mu       sync.Mutex
+	phaseNS  map[string]*expvar.Int
+	counters map[string]*expvar.Int
+}
+
+// publishedInt returns the expvar.Int registered under name, publishing a
+// new one if needed. Reusing an existing registration keeps repeated sink
+// construction (tests, multiple pools) from hitting expvar's re-registration
+// panic.
+func publishedInt(name string) *expvar.Int {
+	if v := expvar.Get(name); v != nil {
+		if iv, ok := v.(*expvar.Int); ok {
+			return iv
+		}
+		// Name taken by a foreign type: fall back to an unpublished counter
+		// rather than panicking mid-run.
+		return new(expvar.Int)
+	}
+	iv := new(expvar.Int)
+	expvar.Publish(name, iv)
+	return iv
+}
+
+// NewExpvar returns an ExpvarSink whose variables are registered under
+// prefix (default "parconn_" when empty).
+func NewExpvar(prefix string) *ExpvarSink {
+	if prefix == "" {
+		prefix = "parconn_"
+	}
+	return &ExpvarSink{
+		prefix:     prefix,
+		runs:       publishedInt(prefix + "runs"),
+		errors:     publishedInt(prefix + "errors"),
+		components: publishedInt(prefix + "components"),
+		levels:     publishedInt(prefix + "levels"),
+		rounds:     publishedInt(prefix + "rounds"),
+		casRetries: publishedInt(prefix + "cas_retries"),
+		runNS:      publishedInt(prefix + "run_ns"),
+		phaseNS:    make(map[string]*expvar.Int),
+		counters:   make(map[string]*expvar.Int),
+	}
+}
+
+func (s *ExpvarSink) RunStart(RunStart) { s.runs.Add(1) }
+
+func (s *ExpvarSink) RunEnd(e RunEnd) {
+	if e.Err != "" {
+		s.errors.Add(1)
+	}
+	s.components.Set(int64(e.Components))
+	s.runNS.Add(int64(e.Duration))
+}
+
+func (s *ExpvarSink) LevelEnd(e LevelEnd) {
+	s.levels.Add(1)
+	s.casRetries.Add(e.CASRetries)
+}
+
+func (s *ExpvarSink) Round(Round) { s.rounds.Add(1) }
+
+func (s *ExpvarSink) Phase(e Phase) {
+	s.mu.Lock()
+	v, ok := s.phaseNS[e.Name]
+	if !ok {
+		v = publishedInt(s.prefix + "phase_ns_" + e.Name)
+		s.phaseNS[e.Name] = v
+	}
+	s.mu.Unlock()
+	v.Add(int64(e.Duration))
+}
+
+func (s *ExpvarSink) Counter(e Counter) {
+	s.mu.Lock()
+	v, ok := s.counters[e.Name]
+	if !ok {
+		v = publishedInt(s.prefix + e.Name)
+		s.counters[e.Name] = v
+	}
+	s.mu.Unlock()
+	v.Add(e.Value)
+}

@@ -1,0 +1,60 @@
+package obs
+
+import "sync/atomic"
+
+// cacheLine padding keeps each shard's counter on its own cache line so
+// concurrent workers flushing into distinct shards never false-share.
+const cacheLine = 64
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// ShardedInt64 is a contention-free accumulator for per-worker measurements
+// taken inside parallel sections (CAS retry counts, for example). Workers
+// Add into a shard derived from their block index; the coordinating
+// goroutine Sums between sections and emits a single Recorder event. This is
+// the buffered per-worker path the obsrecorder vet check directs parallel
+// code to — Recorder methods themselves must never be called from inside a
+// parallel loop body.
+type ShardedInt64 struct {
+	shards []paddedInt64
+	mask   int
+}
+
+// NewShardedInt64 returns an accumulator with at least n shards, rounded up
+// to a power of two (minimum 1) so shard selection is a mask.
+func NewShardedInt64(n int) *ShardedInt64 {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &ShardedInt64{shards: make([]paddedInt64, size), mask: size - 1}
+}
+
+// Add accumulates d into the shard selected by key (any block or worker
+// index; it is masked down to the shard count). Safe for concurrent use.
+func (s *ShardedInt64) Add(key int, d int64) {
+	if d == 0 {
+		return
+	}
+	s.shards[key&s.mask].v.Add(d)
+}
+
+// Sum returns the total across all shards. Call it from the coordinator
+// between parallel sections for an exact total.
+func (s *ShardedInt64) Sum() int64 {
+	var total int64
+	for i := range s.shards {
+		total += s.shards[i].v.Load()
+	}
+	return total
+}
+
+// Reset zeroes all shards.
+func (s *ShardedInt64) Reset() {
+	for i := range s.shards {
+		s.shards[i].v.Store(0)
+	}
+}

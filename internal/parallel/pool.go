@@ -36,6 +36,7 @@ type Pool struct {
 	jobs  chan *task
 	quit  chan struct{}
 	wg    sync.WaitGroup
+	joins atomic.Int64 // cumulative helpers that joined a section; see Joins
 }
 
 // closedBit marks a task whose caller has finished claiming blocks; the low
@@ -55,6 +56,7 @@ type task struct {
 	next     atomic.Int64
 	state    atomic.Int64
 	done     chan struct{}
+	joins    *atomic.Int64 // the owning pool's join counter
 }
 
 // run claims blocks until none remain. It is executed by the caller and by
@@ -118,6 +120,7 @@ func (t *task) help() {
 			break
 		}
 	}
+	t.joins.Add(1)
 	t.run()
 	if t.state.Add(-1) == closedBit {
 		t.done <- struct{}{}
@@ -157,6 +160,13 @@ func (p *Pool) worker() {
 // Procs returns the parallelism the pool was sized for.
 func (p *Pool) Procs() int { return p.procs }
 
+// Joins reports the cumulative number of helpers (parked workers and
+// transient oversubscription goroutines) that joined a parallel section on
+// this pool. Serial fast paths never create a task, so a run's join delta
+// of zero means no section ever went parallel. Callers wanting per-run
+// numbers difference two snapshots.
+func (p *Pool) Joins() int64 { return p.joins.Load() }
+
 // Close stops the pool's parked workers and waits for them to exit. It must
 // only be called once, after all sections using the pool have returned.
 func (p *Pool) Close() {
@@ -170,6 +180,7 @@ func (p *Pool) Close() {
 // and the caller claims blocks alongside them.
 func (p *Pool) exec(t *task, want int) {
 	t.done = make(chan struct{}, 1)
+	t.joins = &p.joins
 	helpers := want - 1
 	pooled := min(helpers, p.procs-1)
 	enqueued := 0

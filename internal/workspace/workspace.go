@@ -27,6 +27,7 @@ package workspace
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // numClasses bounds the largest recyclable capacity at 2^(numClasses-1)
@@ -68,6 +69,11 @@ type Arena struct {
 	mu       sync.Mutex
 	limit    int64
 	retained int64
+
+	// reused/allocd are cumulative byte counters behind Stats, kept atomic
+	// so Acquire's fresh-make path can count outside the mutex.
+	reused atomic.Int64
+	allocd atomic.Int64
 
 	i32 bank[int32]
 	i64 bank[int64]
@@ -116,6 +122,7 @@ func acquire[T any](a *Arena, b *bank[T], elemSize int64, n int) []T {
 			b.free[d] = b.free[d][:k-1]
 			a.retained -= int64(cap(s)) * elemSize
 			a.mu.Unlock()
+			a.reused.Add(int64(cap(s)) * elemSize)
 			return s[:n]
 		}
 	}
@@ -124,6 +131,7 @@ func acquire[T any](a *Arena, b *bank[T], elemSize int64, n int) []T {
 	if capacity < n {
 		capacity = n // request beyond the largest class
 	}
+	a.allocd.Add(int64(capacity) * elemSize)
 	return make([]T, n, capacity)
 }
 
@@ -183,6 +191,13 @@ func (a *Arena) Retained() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.retained
+}
+
+// Stats reports the cumulative bytes served from the free lists (reused)
+// and freshly allocated (allocated) over the arena's lifetime. Callers
+// wanting per-run numbers difference two snapshots.
+func (a *Arena) Stats() (reused, allocated int64) {
+	return a.reused.Load(), a.allocd.Load()
 }
 
 // Reset drops every pooled buffer, returning the arena to its initial

@@ -1,0 +1,109 @@
+package parconn
+
+import (
+	"io"
+	"time"
+
+	"parconn/internal/core"
+	"parconn/internal/decomp"
+	"parconn/internal/obs"
+)
+
+// This file is the public face of the observability layer (internal/obs):
+// type aliases so external callers can implement Recorder or consume events
+// without importing an internal package, plus constructors for the three
+// shipped sinks and the legacy-view helpers.
+
+// Recorder receives the structured event stream of connectivity runs: one
+// RunStart/RunEnd pair per ConnectedComponents call, LevelStart/LevelEnd per
+// contraction level, Round per BFS round, Phase per timed section, and
+// Counter for run-level totals (arena bytes reused/allocated, pool worker
+// joins). Attach one via Options.Recorder; nil disables all instrumentation
+// at the cost of one pointer test per site. Methods are invoked only by the
+// run's coordinating goroutine, between parallel sections.
+type Recorder = obs.Recorder
+
+// Event types delivered to a Recorder; see the field docs in internal/obs.
+type (
+	RunStart   = obs.RunStart
+	RunEnd     = obs.RunEnd
+	LevelStart = obs.LevelStart
+	LevelEnd   = obs.LevelEnd
+	Round      = obs.Round
+	Phase      = obs.Phase
+	Counter    = obs.Counter
+)
+
+// Trace is the in-memory Recorder: it stores every event in arrival order
+// and can re-emit them as JSONL. It subsumes PhaseTimes/LevelStat — see
+// PhaseTimesOf and LevelStatsOf.
+type Trace = obs.Trace
+
+// NewTrace returns an empty in-memory trace recorder.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// JSONLRecorder streams events to an io.Writer as JSON lines (one object
+// per event, tagged with an "ev" kind field). Call Flush before closing the
+// underlying writer.
+type JSONLRecorder = obs.JSONLWriter
+
+// NewJSONLRecorder returns a recorder streaming JSONL to w.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder { return obs.NewJSONLWriter(w) }
+
+// NewExpvarRecorder returns a recorder aggregating events into
+// expvar-published counters for long-running embedders (prefix "" means
+// "parconn_"). Registration is process-permanent; repeated construction
+// with the same prefix reuses the existing variables.
+func NewExpvarRecorder(prefix string) Recorder { return obs.NewExpvar(prefix) }
+
+// MultiRecorder fans events out to every non-nil recorder, returning nil
+// when all are nil.
+func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
+
+// TraceEvent is one parsed trace record: the JSONL kind tag plus the
+// concrete event struct (RunStart, Round, ...) by value.
+type TraceEvent = obs.Event
+
+// ParseTrace decodes a JSONL trace stream (as written by JSONLRecorder or
+// Trace.WriteJSONL) back into typed events.
+func ParseTrace(r io.Reader) ([]TraceEvent, error) { return obs.ParseJSONL(r) }
+
+// TraceSummary aggregates a validated trace (counts per event kind).
+type TraceSummary = obs.Summary
+
+// ValidateTrace parses a JSONL trace stream and checks its structural
+// invariants: run/level bracketing, monotonically non-increasing per-level
+// edge counts (the paper's geometric-decay direction), non-negative counts
+// and durations, and known phase/counter names.
+func ValidateTrace(r io.Reader) (TraceSummary, error) { return obs.ValidateJSONL(r) }
+
+// ValidateTraceEvents checks the same invariants on already-parsed events
+// (e.g. a Trace's Events slice re-parsed from JSONL).
+func ValidateTraceEvents(events []obs.Event) (TraceSummary, error) { return obs.Validate(events) }
+
+// PhaseTimesOf rebuilds the legacy per-phase breakdown from a trace — the
+// compatibility view that Options.Phases is now a shorthand for.
+func PhaseTimesOf(t *Trace) PhaseTimes { return decomp.PhaseTimesFrom(t.Phases()) }
+
+// LevelStatsOf rebuilds the legacy per-level statistics from a trace — the
+// compatibility view that Options.Levels is now a shorthand for.
+func LevelStatsOf(t *Trace) []LevelStat { return core.LevelStatsFrom(t.LevelEnds()) }
+
+// now is the single clock read for run timing in this package; the
+// stopwatch is diagnostic instrumentation, not algorithmic state.
+func now() time.Time {
+	return time.Now() //parconn:allow norand run-duration stopwatch only; algorithmic randomness comes from injected seeds
+}
+
+// countComponents counts the roots of a canonical labeling (labels[v] == v
+// exactly once per component; every algorithm here returns canonical
+// labelings, see VerifyLabeling).
+func countComponents(labels []int32) int {
+	n := 0
+	for v, l := range labels {
+		if int(l) == v {
+			n++
+		}
+	}
+	return n
+}
