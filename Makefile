@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-smoke trace-smoke vet check fmt fmt-check repro repro-quick examples clean
+.PHONY: all build test race race-short bench bench-smoke trace-smoke trace-regression vet check fmt fmt-check repro repro-quick examples clean
 
 all: check test build
 
@@ -33,6 +33,19 @@ bench-smoke:
 trace-smoke:
 	$(GO) run ./cmd/connect -gen rmat -scale 14 -trace /tmp/parconn-trace.jsonl
 	$(GO) run ./cmd/connect -validate-trace /tmp/parconn-trace.jsonl
+
+# Record a fresh trace of the standard rMat-14 run and gate it against the
+# committed baseline with cmd/tracestat. The tolerance and floor are
+# deliberately loose: this lane runs on arbitrary shared CI machines and
+# should only trip on order-of-magnitude phase blowups, not scheduler noise
+# (tracestat's default 1.5x is for same-machine comparisons).
+trace-regression:
+	$(GO) run ./cmd/connect -gen rmat -scale 14 -seed 42 -trace /tmp/parconn-trace-regression.jsonl
+	$(GO) run ./cmd/tracestat diff -tol 8 -floor 100ms testdata/trace-baseline-rmat14.jsonl /tmp/parconn-trace-regression.jsonl
+
+# Refresh the committed trace-regression baseline (run on a quiet machine).
+testdata/trace-baseline-rmat14.jsonl:
+	$(GO) run ./cmd/connect -gen rmat -scale 14 -seed 42 -trace $@
 
 vet:
 	$(GO) vet ./...

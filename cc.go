@@ -232,6 +232,7 @@ func ConnectedComponents(g *Graph, opt Options) ([]int32, error) {
 		beta = 0
 	}
 	t0 := now()
+	env := CaptureEnv()
 	rec.RunStart(RunStart{
 		Algorithm: opt.Algorithm.String(),
 		Vertices:  g.NumVertices(),
@@ -239,6 +240,7 @@ func ConnectedComponents(g *Graph, opt Options) ([]int32, error) {
 		Procs:     parallel.Procs(opt.Procs),
 		Seed:      opt.Seed,
 		Beta:      beta,
+		Env:       &env,
 	})
 	labels, err := connectedComponents(g, opt)
 	end := RunEnd{Duration: time.Since(t0)}
@@ -362,6 +364,7 @@ func Decompose(g *Graph, opt DecompOptions) (*Decomposition, error) {
 		if beta == 0 {
 			beta = 0.2
 		}
+		env := CaptureEnv()
 		rec.RunStart(RunStart{
 			Algorithm: opt.Algorithm.String(),
 			Vertices:  g.NumVertices(),
@@ -369,6 +372,7 @@ func Decompose(g *Graph, opt DecompOptions) (*Decomposition, error) {
 			Procs:     procs,
 			Seed:      opt.Seed,
 			Beta:      beta,
+			Env:       &env,
 		})
 	}
 	w := decomp.NewWGraph(g.g, procs)

@@ -25,6 +25,7 @@ import (
 
 	"parconn"
 	"parconn/internal/bench"
+	"parconn/internal/obs/obshttp"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
 		jsonPath   = fs.String("json", "", "output path for -experiment json (default BENCH_parconn.json)")
 		tracePath  = fs.String("trace", "", "write a JSONL observability trace of every timed run (perturbs timings)")
+		httpAddr   = fs.String("http", "", "serve /debug/parconn, /debug/vars, and /debug/pprof on this address while experiments run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		rec := parconn.NewJSONLRecorder(f)
+		rec.SetTool("cmd/bench")
 		cfg.Recorder = rec
 		defer func() {
 			if err := rec.Flush(); err != nil {
@@ -76,6 +79,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "trace: %d events written to %s\n", rec.Count(), *tracePath)
 		}()
+	}
+	if *httpAddr != "" {
+		state := obshttp.NewState("cmd/bench", 0)
+		addr, err := obshttp.Serve(*httpAddr, state)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "debug server: http://%s/debug/parconn\n", addr)
+		cfg.Recorder = parconn.MultiRecorder(cfg.Recorder, state.Recorder())
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"parconn"
+	"parconn/internal/obs/obshttp"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "print structural statistics of the input graph")
 		tracePath = fs.String("trace", "", "write the observability event stream to this file as JSONL")
 		validate  = fs.String("validate-trace", "", "validate a JSONL trace file written by -trace and exit")
+		httpAddr  = fs.String("http", "", "serve /debug/parconn, /debug/vars, and /debug/pprof on this address (e.g. :6060) while the run executes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		jr := parconn.NewJSONLRecorder(f)
+		jr.SetTool("cmd/connect")
 		rec = jr
 		traceDone = func() error {
 			if err := jr.Flush(); err != nil {
@@ -98,6 +101,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "trace: %d events written to %s\n", jr.Count(), *tracePath)
 			return nil
 		}
+	}
+
+	if *httpAddr != "" {
+		state := obshttp.NewState("cmd/connect", 0)
+		addr, err := obshttp.Serve(*httpAddr, state)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "debug server: http://%s/debug/parconn\n", addr)
+		rec = parconn.MultiRecorder(rec, state.Recorder())
 	}
 
 	g, err := loadGraph(*inPath, *gen, *n, *scale, *side, *degree, *seed)

@@ -3,6 +3,8 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -241,5 +243,39 @@ func TestRunValidateTraceRejects(t *testing.T) {
 	}
 	if code, _, _ := runCapture(t, "-validate-trace", "/nonexistent/trace.jsonl"); code == 0 {
 		t.Fatal("missing trace file accepted")
+	}
+}
+
+// TestRunHTTPDebugServer runs a small job with -http and confirms the debug
+// endpoint reflects the completed run. The server has no shutdown (it lives
+// for the process), which is fine in a test binary.
+func TestRunHTTPDebugServer(t *testing.T) {
+	code, out, errb := runCapture(t, "-gen", "random", "-n", "2000", "-http", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	const marker = "debug server: http://"
+	i := strings.Index(out, marker)
+	if i < 0 {
+		t.Fatalf("no debug server line:\n%s", out)
+	}
+	url := strings.TrimSpace(strings.SplitN(out[i+len("debug server: "):], "\n", 2)[0])
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Tool     string `json:"tool"`
+		Progress struct {
+			RunsDone   int64 `json:"runs_done"`
+			Components int64 `json:"components"`
+		} `json:"progress"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tool != "cmd/connect" || snap.Progress.RunsDone != 1 || snap.Progress.Components == 0 {
+		t.Fatalf("snapshot %+v", snap)
 	}
 }

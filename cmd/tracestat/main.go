@@ -1,0 +1,454 @@
+// Command tracestat summarizes and compares JSONL observability traces
+// written by cmd/connect, cmd/bench, or any JSONLRecorder. It is the
+// offline read side of the event stream: "summary" turns one trace into
+// per-phase histogram and per-level edge-decay tables; "diff" compares a
+// trace against an older trace (or against BENCH_parconn.json) and exits
+// non-zero when a metric regressed past the tolerance, which makes it
+// usable as a CI perf gate.
+//
+// Usage:
+//
+//	tracestat summary run.jsonl
+//	tracestat diff baseline.jsonl run.jsonl
+//	tracestat diff -tol 2 -floor 20ms baseline.jsonl run.jsonl
+//	tracestat diff -input rMat BENCH_parconn.json run.jsonl
+//
+// Diff compares, for every metric present on both sides: total time per
+// phase name and median run duration per algorithm. A metric regresses
+// when the new value exceeds base*tol AND the absolute increase exceeds
+// the floor (the floor suppresses noise on metrics too small to gate on).
+// Exit codes: 0 no regression, 1 regression detected, 2 usage or input
+// error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"parconn"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:], stdout, stderr)
+	case "diff":
+		return runDiff(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "tracestat: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  tracestat summary TRACE.jsonl
+  tracestat diff [-tol N] [-floor DUR] [-input NAME] BASE NEW.jsonl
+
+BASE is either a JSONL trace or a BENCH_parconn.json benchmark report
+(detected by shape).
+`)
+}
+
+// loadTrace parses and validates one JSONL trace file.
+func loadTrace(path string) ([]parconn.TraceEvent, parconn.TraceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, parconn.TraceSummary{}, err
+	}
+	defer f.Close()
+	events, err := parconn.ParseTrace(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, parconn.TraceSummary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	sum, err := parconn.ValidateTraceEvents(events)
+	if err != nil {
+		return nil, parconn.TraceSummary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, sum, nil
+}
+
+// runStat is one RunStart/RunEnd pair from the stream.
+type runStat struct {
+	Algorithm  string
+	Vertices   int
+	Edges      int64
+	Procs      int
+	Components int
+	Duration   time.Duration
+	Err        string
+}
+
+// traceStats is everything the summary and diff views need from a trace.
+type traceStats struct {
+	Env    parconn.Env
+	Runs   []runStat
+	Phases map[string]*parconn.Histogram // phase name -> duration ns, all levels merged
+	Levels []levelStat                   // indexed by level
+	Hists  *parconn.HistogramSet         // frontier + per-round histograms via replay
+}
+
+// levelStat aggregates the LevelEnd events of one contraction level across
+// every run in the trace.
+type levelStat struct {
+	Count    int   // LevelEnd events seen for this level
+	Vertices int64 // summed across runs
+	EdgesIn  int64
+	EdgesCut int64
+	EdgesOut int64
+	Rounds   int64
+}
+
+func statsOf(events []parconn.TraceEvent) *traceStats {
+	st := &traceStats{
+		Env:    parconn.TraceEnvOf(events),
+		Phases: map[string]*parconn.Histogram{},
+		Hists:  parconn.NewHistogramSet(),
+	}
+	parconn.ReplayTrace(st.Hists, events)
+	var open *runStat
+	for _, ev := range events {
+		switch v := ev.V.(type) {
+		case parconn.RunStart:
+			st.Runs = append(st.Runs, runStat{
+				Algorithm: v.Algorithm, Vertices: v.Vertices, Edges: v.Edges, Procs: v.Procs,
+			})
+			open = &st.Runs[len(st.Runs)-1]
+		case parconn.RunEnd:
+			if open != nil {
+				open.Components = v.Components
+				open.Duration = v.Duration
+				open.Err = v.Err
+				open = nil
+			}
+		case parconn.Phase:
+			h := st.Phases[v.Name]
+			if h == nil {
+				h = &parconn.Histogram{}
+				st.Phases[v.Name] = h
+			}
+			h.Record(v.Duration.Nanoseconds())
+		case parconn.LevelEnd:
+			for len(st.Levels) <= v.Level {
+				st.Levels = append(st.Levels, levelStat{})
+			}
+			l := &st.Levels[v.Level]
+			l.Count++
+			l.Vertices += int64(v.Vertices)
+			l.EdgesIn += v.EdgesIn
+			l.EdgesCut += v.EdgesCut
+			l.EdgesOut += v.EdgesOut
+			l.Rounds += int64(v.Rounds)
+		}
+	}
+	return st
+}
+
+// sortedPhaseNames returns the phase names ordered by descending total time,
+// the order a reader scanning for the expensive phase wants.
+func (st *traceStats) sortedPhaseNames() []string {
+	names := make([]string, 0, len(st.Phases))
+	for name := range st.Phases {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := st.Phases[names[i]].Sum(), st.Phases[names[j]].Sum()
+		if a != b {
+			return a > b
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		usage(stderr)
+		return 2
+	}
+	path := fs.Arg(0)
+	events, sum, err := loadTrace(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	st := statsOf(events)
+
+	fmt.Fprintf(stdout, "trace: %s (%d events, %d runs, %d levels, %d rounds)\n",
+		path, sum.Events, sum.Runs, sum.Levels, sum.Rounds)
+	if !st.Env.IsZero() {
+		fmt.Fprintf(stdout, "env: %s\n", st.Env)
+	}
+	for i, r := range st.Runs {
+		status := fmt.Sprintf("%d components in %v", r.Components, roundDur(r.Duration))
+		if r.Err != "" {
+			status = "ERROR " + r.Err
+		}
+		fmt.Fprintf(stdout, "run %d: %s n=%d m=%d procs=%d: %s\n",
+			i, r.Algorithm, r.Vertices, r.Edges, r.Procs, status)
+	}
+
+	if len(st.Phases) > 0 {
+		fmt.Fprintf(stdout, "\n%-16s %7s %12s %12s %12s %12s %12s\n",
+			"phase", "count", "total", "mean", "p50", "p90", "max")
+		for _, name := range st.sortedPhaseNames() {
+			s := st.Phases[name].Snapshot()
+			fmt.Fprintf(stdout, "%-16s %7d %12v %12v %12v %12v %12v\n",
+				name, s.Count,
+				roundDur(time.Duration(s.Sum)),
+				roundDur(time.Duration(int64(s.Mean()))),
+				roundDur(time.Duration(s.Quantile(0.5))),
+				roundDur(time.Duration(s.Quantile(0.9))),
+				roundDur(time.Duration(s.Max)))
+		}
+	}
+
+	if fr := st.Hists.Frontier().Snapshot(); fr.Count > 0 {
+		fmt.Fprintf(stdout, "\nfrontier sizes: %s\n", fr)
+	}
+
+	if len(st.Levels) > 0 {
+		fmt.Fprintf(stdout, "\n%-6s %6s %12s %12s %12s %12s %8s\n",
+			"level", "ends", "vertices", "edges_in", "edges_cut", "edges_out", "decay")
+		for lvl, l := range st.Levels {
+			decay := "-"
+			if l.EdgesIn > 0 {
+				decay = fmt.Sprintf("%.3f", float64(l.EdgesOut)/float64(l.EdgesIn))
+			}
+			fmt.Fprintf(stdout, "%-6d %6d %12d %12d %12d %12d %8s\n",
+				lvl, l.Count, l.Vertices, l.EdgesIn, l.EdgesCut, l.EdgesOut, decay)
+		}
+	}
+	return 0
+}
+
+// metric is one comparable quantity extracted from a trace or a bench
+// report; values are nanoseconds.
+type metric struct {
+	base, new int64
+	hasBase   bool
+	hasNew    bool
+}
+
+// benchBaseline mirrors the subset of internal/bench's BENCH_parconn.json
+// schema this tool reads. Kept as a local struct: importing internal/bench
+// would pull the testing package into a shipped binary.
+type benchBaseline struct {
+	GoVersion  string      `json:"go_version"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Env        parconn.Env `json:"env"`
+	Results    []struct {
+		Input     string  `json:"input"`
+		Algorithm string  `json:"algorithm"`
+		NsPerOp   float64 `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+// loadBase loads the diff baseline: a JSONL trace, or a bench report
+// (detected by successfully decoding the whole file as one report object
+// with results). A bench report has per-(input, algorithm) cells while a
+// trace only knows the algorithm, so input narrows the report to one
+// input family; when empty the slowest input per algorithm is taken as
+// the (conservative) baseline. For trace baselines input is ignored.
+func loadBase(path, input string) (map[string]int64, parconn.Env, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, parconn.Env{}, err
+	}
+	var rep benchBaseline
+	if err := json.Unmarshal(data, &rep); err == nil && len(rep.Results) > 0 {
+		env := rep.Env
+		if env.IsZero() {
+			env = parconn.Env{GoVersion: rep.GoVersion, GoMaxProcs: rep.GoMaxProcs}
+		}
+		m := map[string]int64{}
+		found := false
+		for _, r := range rep.Results {
+			if input != "" && r.Input != input {
+				continue
+			}
+			found = true
+			key := "run/" + r.Algorithm
+			if ns := int64(r.NsPerOp); ns > m[key] {
+				m[key] = ns
+			}
+		}
+		if !found {
+			return nil, parconn.Env{}, fmt.Errorf("%s: no results for input %q", path, input)
+		}
+		return m, env, nil
+	}
+	events, _, err := loadTraceBytes(path, data)
+	if err != nil {
+		return nil, parconn.Env{}, err
+	}
+	st := statsOf(events)
+	return st.metrics(), st.Env, nil
+}
+
+// loadTraceBytes parses an already-read trace file.
+func loadTraceBytes(path string, data []byte) ([]parconn.TraceEvent, parconn.TraceSummary, error) {
+	events, err := parconn.ParseTrace(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, parconn.TraceSummary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	sum, err := parconn.ValidateTraceEvents(events)
+	if err != nil {
+		return nil, parconn.TraceSummary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, sum, nil
+}
+
+// metrics flattens a trace into the comparable quantities diff gates on:
+// total nanoseconds per phase name, and the median run duration per
+// algorithm.
+func (st *traceStats) metrics() map[string]int64 {
+	m := map[string]int64{}
+	for name, h := range st.Phases {
+		m["phase/"+name] = h.Sum()
+	}
+	byAlg := map[string][]time.Duration{}
+	for _, r := range st.Runs {
+		if r.Err == "" && r.Duration > 0 {
+			byAlg[r.Algorithm] = append(byAlg[r.Algorithm], r.Duration)
+		}
+	}
+	for alg, ds := range byAlg {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		m["run/"+alg] = ds[len(ds)/2].Nanoseconds()
+	}
+	return m
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tol   = fs.Float64("tol", 1.5, "regression threshold: new > base*tol flags the metric")
+		floor = fs.Duration("floor", 2*time.Millisecond, "ignore regressions whose absolute increase is below this duration")
+		input = fs.String("input", "", "bench-report baselines only: gate against this input family (default: slowest per algorithm)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		usage(stderr)
+		return 2
+	}
+	if *tol <= 0 {
+		fmt.Fprintln(stderr, "tracestat: -tol must be positive")
+		return 2
+	}
+	basePath, newPath := fs.Arg(0), fs.Arg(1)
+
+	base, baseEnv, err := loadBase(basePath, *input)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	newEvents, _, err := loadTrace(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	newStats := statsOf(newEvents)
+
+	if diffs := baseEnv.Mismatch(newStats.Env); len(diffs) > 0 {
+		fmt.Fprintf(stderr, "tracestat: WARNING: environment mismatch (timings not directly comparable): %s\n",
+			strings.Join(diffs, "; "))
+	}
+
+	merged := map[string]*metric{}
+	for k, v := range base {
+		merged[k] = &metric{base: v, hasBase: true}
+	}
+	for k, v := range newStats.metrics() {
+		m := merged[k]
+		if m == nil {
+			m = &metric{}
+			merged[k] = m
+		}
+		m.new, m.hasNew = v, true
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	compared := 0
+	fmt.Fprintf(stdout, "%-28s %12s %12s %8s\n", "metric", "base", "new", "ratio")
+	for _, k := range keys {
+		m := merged[k]
+		switch {
+		case !m.hasNew:
+			fmt.Fprintf(stdout, "%-28s %12v %12s %8s  (missing in new trace)\n",
+				k, roundDur(time.Duration(m.base)), "-", "-")
+		case !m.hasBase:
+			fmt.Fprintf(stdout, "%-28s %12s %12v %8s  (missing in baseline)\n",
+				k, "-", roundDur(time.Duration(m.new)), "-")
+		default:
+			compared++
+			ratio := float64(m.new) / float64(m.base)
+			verdict := "ok"
+			if m.new > int64(float64(m.base)**tol) && m.new-m.base > floor.Nanoseconds() {
+				regressions++
+				verdict = fmt.Sprintf("REGRESSION (+%v > %v floor)",
+					roundDur(time.Duration(m.new-m.base)), *floor)
+			}
+			fmt.Fprintf(stdout, "%-28s %12v %12v %7.2fx  %s\n",
+				k, roundDur(time.Duration(m.base)), roundDur(time.Duration(m.new)), ratio, verdict)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(stderr, "tracestat: no metric exists on both sides; nothing compared")
+		return 2
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "tracestat: %d regression(s) (tolerance %.2fx, floor %v)\n", regressions, *tol, *floor)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tracestat: no regressions in %d compared metric(s) (tolerance %.2fx, floor %v)\n",
+		compared, *tol, *floor)
+	return 0
+}
+
+// roundDur trims a duration to four significant digits so table cells stay
+// readable (1.234567ms -> 1.235ms).
+func roundDur(d time.Duration) time.Duration {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	p := time.Duration(1)
+	for abs >= 10*p {
+		p *= 10
+	}
+	if p < 1000 {
+		return d
+	}
+	return d.Round(p / 1000)
+}

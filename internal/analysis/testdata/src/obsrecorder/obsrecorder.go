@@ -41,6 +41,34 @@ func okCoordinatorEmit(rec obs.Recorder, xs []int) {
 	rec.Counter(obs.Counter{Name: "cas", Value: retries.Sum()}) // ok: coordinator, between sections
 }
 
+func racyFlightRecorder(fr *obs.FlightRecorder, xs []int) {
+	parallel.For(0, len(xs), func(i int) {
+		fr.Round(obs.Round{Round: i}) // want "Round"
+	})
+}
+
+func racyProgressSink(p *obs.Progress, xs []int) {
+	parallel.Blocks(0, len(xs), 0, func(lo, hi int) {
+		p.Phase(obs.Phase{Name: "init"}) // want "Phase"
+	})
+}
+
+func racyHistogramSet(hs *obs.HistogramSet, xs []int) {
+	parallel.For(0, len(xs), func(i int) {
+		hs.Phase(obs.Phase{Name: "init"}) // want "Phase"
+	})
+}
+
+func okHistogramFromWorkers(xs []int) {
+	// A bare Histogram is not a Recorder: its Record path is atomic and
+	// explicitly safe to call from inside parallel sections.
+	var h obs.Histogram
+	parallel.For(0, len(xs), func(i int) {
+		h.Record(int64(xs[i])) // ok: wait-free atomic sink
+	})
+	_ = h.Count()
+}
+
 func okUnrelatedMethod(xs []int) {
 	var c counterish
 	parallel.For(0, len(xs), func(i int) {

@@ -23,10 +23,14 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// BenchReport is the top-level schema of BENCH_parconn.json.
+// BenchReport is the top-level schema of BENCH_parconn.json. GoVersion and
+// GoMaxProcs predate the richer Env block and are kept for readers of old
+// reports; Env is what cmd/tracestat compares against a trace's capture
+// environment.
 type BenchReport struct {
 	GoVersion  string        `json:"go_version"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	Env        parconn.Env   `json:"env"`
 	Scale      float64       `json:"scale"`
 	Seed       uint64        `json:"seed"`
 	Results    []BenchResult `json:"results"`
@@ -70,6 +74,7 @@ func JSONReport(cfg Config) BenchReport {
 	rep := BenchReport{
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Env:        parconn.CaptureEnv(),
 		Scale:      cfg.Scale,
 		Seed:       cfg.Seed,
 	}

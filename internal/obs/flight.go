@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// defaultFlightCap is the ring size when NewFlightRecorder is given a
+// non-positive capacity: enough for several full levels of round and phase
+// events without holding a long run's whole history.
+const defaultFlightCap = 256
+
+// FlightRecorder is a Recorder keeping the most recent events in a bounded
+// ring, so a debug endpoint (or a post-mortem) can show what the engine was
+// doing just now without accumulating a multi-hour run's full trace the way
+// Trace would. Snapshot returns a consistent copy: events in arrival order
+// plus the count of older events that have been overwritten.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	total int64 // events ever recorded
+}
+
+// NewFlightRecorder returns a recorder retaining the last n events
+// (defaultFlightCap when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = defaultFlightCap
+	}
+	return &FlightRecorder{ring: make([]Event, n)}
+}
+
+func (f *FlightRecorder) add(kind string, v any) {
+	f.mu.Lock()
+	f.ring[f.total%int64(len(f.ring))] = Event{Kind: kind, V: v}
+	f.total++
+	f.mu.Unlock()
+}
+
+func (f *FlightRecorder) RunStart(e RunStart)     { f.add(KindRunStart, e) }
+func (f *FlightRecorder) RunEnd(e RunEnd)         { f.add(KindRunEnd, e) }
+func (f *FlightRecorder) LevelStart(e LevelStart) { f.add(KindLevelStart, e) }
+func (f *FlightRecorder) LevelEnd(e LevelEnd)     { f.add(KindLevelEnd, e) }
+func (f *FlightRecorder) Round(e Round)           { f.add(KindRound, e) }
+func (f *FlightRecorder) Phase(e Phase)           { f.add(KindPhase, e) }
+func (f *FlightRecorder) Counter(e Counter)       { f.add(KindCounter, e) }
+
+// Snapshot returns the retained events oldest-first and the number of
+// earlier events the ring has dropped.
+func (f *FlightRecorder) Snapshot() (events []Event, dropped int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := int64(len(f.ring))
+	kept := min(f.total, n)
+	events = make([]Event, 0, kept)
+	for i := f.total - kept; i < f.total; i++ {
+		events = append(events, f.ring[i%n])
+	}
+	return events, f.total - kept
+}
+
+// Total reports the number of events ever recorded.
+func (f *FlightRecorder) Total() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Reset discards all retained events.
+func (f *FlightRecorder) Reset() {
+	f.mu.Lock()
+	clear(f.ring)
+	f.total = 0
+	f.mu.Unlock()
+}

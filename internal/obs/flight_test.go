@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRetainsTail(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	want := emitAll(fr) // 12 events through a 4-slot ring
+	events, dropped := fr.Snapshot()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events want 4", len(events))
+	}
+	if dropped != int64(len(want)-4) {
+		t.Fatalf("dropped %d want %d", dropped, len(want)-4)
+	}
+	for i, ev := range events {
+		if ev != want[len(want)-4+i] {
+			t.Fatalf("event %d = %+v want %+v", i, ev, want[len(want)-4+i])
+		}
+	}
+	if fr.Total() != int64(len(want)) {
+		t.Fatalf("Total %d want %d", fr.Total(), len(want))
+	}
+	// The most recent event is the run_end.
+	if _, ok := events[3].V.(RunEnd); !ok {
+		t.Fatalf("newest event %+v is not the run_end", events[3])
+	}
+
+	fr.Reset()
+	if events, dropped := fr.Snapshot(); len(events) != 0 || dropped != 0 {
+		t.Fatalf("after Reset: %d events, %d dropped", len(events), dropped)
+	}
+}
+
+func TestFlightRecorderUnderfilled(t *testing.T) {
+	fr := NewFlightRecorder(0) // default capacity, far above one run
+	want := emitAll(fr)
+	events, dropped := fr.Snapshot()
+	if dropped != 0 || len(events) != len(want) {
+		t.Fatalf("got %d events (%d dropped) want %d (0)", len(events), dropped, len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrentRuns(t *testing.T) {
+	// Two runs sharing one recorder, per the sink contract; snapshots taken
+	// mid-flight must stay internally consistent (no torn events).
+	fr := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				emitAll(fr)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			events, _ := fr.Snapshot()
+			for _, ev := range events {
+				if ev.Kind == "" || ev.V == nil {
+					t.Error("torn event in snapshot")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if fr.Total() != 2*50*12 {
+		t.Fatalf("Total %d want %d", fr.Total(), 2*50*12)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	if s := p.Snapshot(); s.Running || s.RunsStarted != 0 {
+		t.Fatalf("fresh progress %+v", s)
+	}
+	p.RunStart(RunStart{Algorithm: "decomp-arb", Vertices: 10, Edges: 18, Procs: 4})
+	p.LevelStart(LevelStart{Level: 2, Vertices: 5, EdgesIn: 9})
+	p.Round(Round{Level: 2, Round: 3, Frontier: 4})
+	p.Phase(Phase{Level: 2, Name: PhaseBFSSparse})
+	s := p.Snapshot()
+	if !s.Running || s.Algorithm != "decomp-arb" || s.Level != 2 || s.Round != 3 ||
+		s.Frontier != 4 || s.Phase != PhaseBFSSparse || s.LevelEdges != 9 {
+		t.Fatalf("mid-run snapshot %+v", s)
+	}
+	p.RunEnd(RunEnd{Components: 3, Duration: 10})
+	s = p.Snapshot()
+	if s.Running || s.RunsDone != 1 || s.Components != 3 || s.LastRunNS != 10 {
+		t.Fatalf("post-run snapshot %+v", s)
+	}
+
+	// A failed run surfaces its error and the error count.
+	p.RunStart(RunStart{Algorithm: "decomp-min"})
+	p.RunEnd(RunEnd{Err: "boom"})
+	s = p.Snapshot()
+	if s.Errors != 1 || s.LastErr != "boom" {
+		t.Fatalf("error snapshot %+v", s)
+	}
+
+	// Unknown phase names still display (allocating is fine off the hot set).
+	p.Phase(Phase{Name: "custom_phase"})
+	if s := p.Snapshot(); s.Phase != "custom_phase" {
+		t.Fatalf("unknown phase snapshot %+v", s)
+	}
+}
+
+func TestProgressConcurrentReaders(t *testing.T) {
+	p := NewProgress()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			emitAll(p)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := p.Snapshot()
+				if s.RunsDone > s.RunsStarted {
+					t.Error("runs_done overtook runs_started")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

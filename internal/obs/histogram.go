@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HistogramBuckets is the number of log-spaced buckets in a Histogram:
+// bucket 0 holds the value 0 and bucket i (1..64) holds values in
+// [2^(i-1), 2^i). Base-2 spacing gives ~±50% resolution at every magnitude,
+// which is enough to tell a 2x tail regression apart from noise while
+// keeping the record path a single shift-free bits.Len64.
+const HistogramBuckets = 65
+
+// A Histogram counts non-negative int64 samples (durations in nanoseconds,
+// frontier sizes) in fixed log2-spaced buckets. The zero value is ready to
+// use. Record is wait-free, allocation-free, and safe from any goroutine —
+// the histogram itself is not a Recorder, so it may legally be fed from
+// inside parallel sections — and Snapshot/Merge may run concurrently with
+// recording (they see a near-consistent view: bucket counts are read one
+// atomic load at a time, so a snapshot taken mid-record can be off by the
+// in-flight sample).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	minPlus atomic.Int64 // min+1; 0 means "no samples yet" so the zero value works
+	buckets [HistogramBuckets]atomic.Int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBounds returns the half-open sample range [lo, hi) of bucket i.
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	if i >= 63 {
+		return 1 << 62, math.MaxInt64
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Record adds one sample. Negative samples are clamped to zero (durations
+// from a non-monotonic clock step; they are noise, not data).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.minPlus.Load()
+		if (cur != 0 && v+1 >= cur) || h.minPlus.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// Merge adds o's counts into h. Both histograms may be live.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if v := o.max.Load(); v > 0 {
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	if mp := o.minPlus.Load(); mp != 0 {
+		for {
+			cur := h.minPlus.Load()
+			if (cur != 0 && mp >= cur) || h.minPlus.CompareAndSwap(cur, mp) {
+				break
+			}
+		}
+	}
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.minPlus.Store(0)
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the total of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count samples in
+// [Lo, Hi).
+type HistogramBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, carrying only
+// the non-empty buckets. It is the JSON shape served by /debug/parconn and
+// the aggregation unit cmd/tracestat builds its tables from.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Min     int64             `json:"min"`
+	Max     int64             `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if mp := h.minPlus.Load(); mp > 0 {
+		s.Min = mp - 1
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			lo, hi := BucketBounds(i)
+			s.Buckets = append(s.Buckets, HistogramBucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	return s
+}
+
+// Mean returns the average sample, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
+// interpolating geometrically inside the holding bucket and clamping to the
+// observed min/max. Log-spaced buckets make the estimate exact to within a
+// factor of 2, which is the histogram's design resolution.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for _, b := range s.Buckets {
+		seen += float64(b.Count)
+		if seen >= rank {
+			// Geometric midpoint-ish interpolation: position within the
+			// bucket by remaining rank fraction, on a log scale.
+			frac := 1 - (seen-rank)/float64(b.Count)
+			lo, hi := float64(max(b.Lo, 1)), float64(b.Hi)
+			v := int64(lo * math.Pow(hi/lo, frac))
+			return min(max(v, s.Min), s.Max)
+		}
+	}
+	return s.Max
+}
+
+// phaseKey identifies one per-level phase histogram.
+type phaseKey struct {
+	level int
+	name  string
+}
+
+// HistogramSet is a Recorder aggregating the event stream into histograms:
+// one per (level, phase name) over phase durations, one over per-round
+// frontier sizes, and one over per-round durations. The record path is
+// allocation-free in the steady state (a histogram allocates once when its
+// (level, phase) key first appears); sinks shared by concurrent runs are
+// safe, per the Recorder contract.
+type HistogramSet struct {
+	Nop
+
+	mu     sync.RWMutex
+	phases map[phaseKey]*Histogram
+
+	frontier Histogram // Round.Frontier samples
+	roundNS  Histogram // Round.Duration samples, nanoseconds
+}
+
+// NewHistogramSet returns an empty set.
+func NewHistogramSet() *HistogramSet {
+	return &HistogramSet{phases: make(map[phaseKey]*Histogram)}
+}
+
+// phaseHist returns the histogram for (level, name), creating it on first
+// use. Steady-state lookups take only the read lock and do not allocate.
+func (s *HistogramSet) phaseHist(level int, name string) *Histogram {
+	k := phaseKey{level: level, name: name}
+	s.mu.RLock()
+	h := s.phases[k]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	if h = s.phases[k]; h == nil {
+		h = &Histogram{}
+		s.phases[k] = h
+	}
+	s.mu.Unlock()
+	return h
+}
+
+// Phase records the duration into the (level, name) histogram.
+func (s *HistogramSet) Phase(e Phase) {
+	s.phaseHist(e.Level, e.Name).Record(int64(e.Duration))
+}
+
+// Round records the frontier size and round duration.
+func (s *HistogramSet) Round(e Round) {
+	s.frontier.Record(int64(e.Frontier))
+	s.roundNS.Record(int64(e.Duration))
+}
+
+// Frontier exposes the frontier-size histogram (samples are vertex counts).
+func (s *HistogramSet) Frontier() *Histogram { return &s.frontier }
+
+// RoundNS exposes the per-round duration histogram (nanoseconds).
+func (s *HistogramSet) RoundNS() *Histogram { return &s.roundNS }
+
+// PhaseHistogram is one (level, phase) histogram in a snapshot.
+type PhaseHistogram struct {
+	Level int               `json:"level"`
+	Name  string            `json:"name"`
+	Hist  HistogramSnapshot `json:"hist"`
+}
+
+// HistogramSetSnapshot is the JSON shape of a HistogramSet.
+type HistogramSetSnapshot struct {
+	Phases   []PhaseHistogram  `json:"phases,omitempty"`
+	Frontier HistogramSnapshot `json:"frontier"`
+	RoundNS  HistogramSnapshot `json:"round_ns"`
+}
+
+// Snapshot copies every histogram, phases sorted by (level, name).
+func (s *HistogramSet) Snapshot() HistogramSetSnapshot {
+	s.mu.RLock()
+	keys := make([]phaseKey, 0, len(s.phases))
+	for k := range s.phases {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].name < keys[j].name
+	})
+	out := HistogramSetSnapshot{
+		Frontier: s.frontier.Snapshot(),
+		RoundNS:  s.roundNS.Snapshot(),
+	}
+	for _, k := range keys {
+		s.mu.RLock()
+		h := s.phases[k]
+		s.mu.RUnlock()
+		out.Phases = append(out.Phases, PhaseHistogram{
+			Level: k.level, Name: k.name, Hist: h.Snapshot(),
+		})
+	}
+	return out
+}
+
+// String summarizes the histogram for debug output.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("count=%d sum=%d min=%d p50=%d p90=%d max=%d",
+		s.Count, s.Sum, s.Min, s.Quantile(0.5), s.Quantile(0.9), s.Max)
+}

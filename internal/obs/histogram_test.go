@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := map[int64]int{
+		-5: 0, 0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4,
+		1023: 10, 1024: 11, math.MaxInt64: 63,
+	}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d want %d", v, got, want)
+		}
+	}
+	for i := 0; i < HistogramBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo >= hi && i < 64 {
+			t.Errorf("bucket %d bounds [%d, %d) empty", i, lo, hi)
+		}
+		if i > 0 && i < 64 {
+			if bucketOf(lo) != i || bucketOf(hi-1) != i {
+				t.Errorf("bucket %d bounds [%d, %d) disagree with bucketOf", i, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistogramRecordSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 5, 5, 100, 1000, -3} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count %d want 7", s.Count)
+	}
+	if s.Sum != 1111 {
+		t.Fatalf("Sum %d want 1111", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("Min/Max %d/%d want 0/1000", s.Min, s.Max)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("p0 %d want 0", got)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Fatalf("p100 %d want 1000", got)
+	}
+	// The median sample is 5; log-spaced buckets place p50 in [4, 8).
+	if got := s.Quantile(0.5); got < 4 || got >= 8 {
+		t.Fatalf("p50 %d outside the median's bucket [4, 8)", got)
+	}
+	if m := s.Mean(); math.Abs(m-1111.0/7) > 1e-9 {
+		t.Fatalf("Mean %v", m)
+	}
+
+	// An all-zero histogram must survive quantiles and JSON encoding.
+	var empty Histogram
+	es := empty.Snapshot()
+	if es.Count != 0 || es.Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot %+v", es)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMinTracksSmallest(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	h.Record(7)
+	h.Record(50)
+	if s := h.Snapshot(); s.Min != 7 {
+		t.Fatalf("Min %d want 7", s.Min)
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	a.Record(2)
+	a.Record(1000)
+	b.Record(1)
+	b.Record(8)
+	a.Merge(&b)
+	s := a.Snapshot()
+	if s.Count != 4 || s.Sum != 1011 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("merged snapshot %+v", s)
+	}
+	a.Reset()
+	if s := a.Snapshot(); s.Count != 0 || s.Sum != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("reset snapshot %+v", s)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count %d want %d", s.Count, workers*per)
+	}
+	const n = int64(workers * per)
+	if s.Sum != n*(n-1)/2 {
+		t.Fatalf("Sum %d want %d", s.Sum, n*(n-1)/2)
+	}
+	if s.Min != 0 || s.Max != n-1 {
+		t.Fatalf("Min/Max %d/%d", s.Min, s.Max)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramSet(t *testing.T) {
+	hs := NewHistogramSet()
+	emitAll(hs)
+	snap := hs.Snapshot()
+	// emitAll produces phases init, bfs_main, contract — all level 0.
+	want := map[string]int64{PhaseInit: 1, PhaseBFSMain: 1, PhaseContract: 1}
+	if len(snap.Phases) != len(want) {
+		t.Fatalf("phases %+v want %v", snap.Phases, want)
+	}
+	for _, ph := range snap.Phases {
+		if ph.Level != 0 {
+			t.Errorf("phase %s at level %d want 0", ph.Name, ph.Level)
+		}
+		if ph.Hist.Count != want[ph.Name] {
+			t.Errorf("phase %s count %d want %d", ph.Name, ph.Hist.Count, want[ph.Name])
+		}
+	}
+	if snap.Frontier.Count != 1 || snap.Frontier.Max != 2 {
+		t.Fatalf("frontier %+v", snap.Frontier)
+	}
+	if snap.RoundNS.Count != 1 || snap.RoundNS.Sum != int64(time.Microsecond) {
+		t.Fatalf("round_ns %+v", snap.RoundNS)
+	}
+
+	// A second identical run doubles the counts in place.
+	emitAll(hs)
+	if got := hs.Snapshot().Phases[0].Hist.Count; got != 2 {
+		t.Fatalf("second run: phase count %d want 2", got)
+	}
+	if _, err := json.Marshal(hs.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvMismatch(t *testing.T) {
+	here := CaptureEnv()
+	if here.IsZero() || here.GoVersion == "" || here.NumCPU < 1 {
+		t.Fatalf("CaptureEnv %+v", here)
+	}
+	if diffs := here.Mismatch(here); len(diffs) != 0 {
+		t.Fatalf("self-mismatch: %v", diffs)
+	}
+	// Unknown (zero) fields on one side never count as differences.
+	if diffs := here.Mismatch(Env{}); len(diffs) != 0 {
+		t.Fatalf("zero-env mismatch: %v", diffs)
+	}
+	other := here
+	other.GoMaxProcs = here.GoMaxProcs + 7
+	other.OS = "plan9"
+	diffs := here.Mismatch(other)
+	if len(diffs) != 2 {
+		t.Fatalf("mismatch %v want gomaxprocs and os/arch entries", diffs)
+	}
+}

@@ -34,15 +34,19 @@ func AppendRecord(dst []byte, kind string, event any) ([]byte, error) {
 	return dst, nil
 }
 
-// JSONLWriter is a Recorder that streams events to w as JSON lines. Errors
-// are sticky: the first write failure is kept, subsequent events are dropped,
-// and Flush reports it. Safe for use by concurrent runs.
+// JSONLWriter is a Recorder that streams events to w as JSON lines. The
+// first event is preceded by a "meta" header record carrying the capture
+// environment (see Meta), so every trace file identifies where it was
+// recorded. Errors are sticky: the first write failure is kept, subsequent
+// events are dropped, and Flush reports it. Safe for use by concurrent runs.
 type JSONLWriter struct {
-	mu    sync.Mutex
-	bw    *bufio.Writer
-	buf   []byte
-	count int64
-	err   error
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	buf    []byte
+	count  int64
+	err    error
+	tool   string
+	headed bool
 }
 
 // NewJSONLWriter returns a JSONLWriter streaming to w. Call Flush before
@@ -51,18 +55,40 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return &JSONLWriter{bw: bufio.NewWriter(w)}
 }
 
-func (j *JSONLWriter) emit(kind string, event any) {
+// SetTool names the writing program in the trace header (e.g.
+// "cmd/connect"). It has no effect once the header is out.
+func (j *JSONLWriter) SetTool(tool string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.err != nil {
-		return
-	}
+	j.tool = tool
+	j.mu.Unlock()
+}
+
+// writeLocked appends one record to the stream; callers hold j.mu.
+func (j *JSONLWriter) writeLocked(kind string, event any) {
 	j.buf, j.err = AppendRecord(j.buf[:0], kind, event)
 	if j.err != nil {
 		return
 	}
 	if _, err := j.bw.Write(j.buf); err != nil {
 		j.err = err
+	}
+}
+
+func (j *JSONLWriter) emit(kind string, event any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if !j.headed {
+		j.headed = true
+		j.writeLocked(KindMeta, Meta{Tool: j.tool, Env: CaptureEnv()})
+		if j.err != nil {
+			return
+		}
+	}
+	j.writeLocked(kind, event)
+	if j.err != nil {
 		return
 	}
 	j.count++
@@ -118,6 +144,10 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 			err error
 		)
 		switch tag.Ev {
+		case KindMeta:
+			var e Meta
+			err = json.Unmarshal(line, &e)
+			v = e
 		case KindRunStart:
 			var e RunStart
 			err = json.Unmarshal(line, &e)
@@ -169,6 +199,7 @@ type Summary struct {
 	Rounds   int
 	Phases   int
 	Counters int
+	Metas    int // trace header records
 	Events   int
 }
 
@@ -199,6 +230,14 @@ func Validate(events []Event) (Summary, error) {
 	maxLevel := -1
 	for i, ev := range events {
 		switch e := ev.V.(type) {
+		case Meta:
+			// Headers describe the recording, not the computation; they may
+			// appear wherever streams were concatenated, but never inside a
+			// run's bracketing.
+			if inRun {
+				return s, fmt.Errorf("event %d: meta header inside an open run", i)
+			}
+			s.Metas++
 		case RunStart:
 			if inRun {
 				return s, fmt.Errorf("event %d: run_start while a run is open", i)

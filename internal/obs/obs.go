@@ -53,6 +53,7 @@ type Recorder interface {
 
 // Event kind names, as written to the "ev" field of the JSONL encoding.
 const (
+	KindMeta       = "meta"
 	KindRunStart   = "run_start"
 	KindRunEnd     = "run_end"
 	KindLevelStart = "level_start"
@@ -93,6 +94,7 @@ type RunStart struct {
 	Procs     int     `json:"procs"`
 	Seed      uint64  `json:"seed"`
 	Beta      float64 `json:"beta,omitempty"` // effective beta; 0 for non-decomposition algorithms
+	Env       *Env    `json:"env,omitempty"`  // capture environment; nil in minimal emissions
 }
 
 // RunEnd closes a run.

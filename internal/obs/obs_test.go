@@ -89,9 +89,10 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if err := tr.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Live writer path must produce identical bytes.
+	// Live writer path: identical bytes after its meta header line.
 	var live bytes.Buffer
 	jw := NewJSONLWriter(&live)
+	jw.SetTool("obs_test")
 	emitAll(jw)
 	if err := jw.Flush(); err != nil {
 		t.Fatal(err)
@@ -99,8 +100,37 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if jw.Count() != int64(len(want)) {
 		t.Fatalf("Count %d want %d", jw.Count(), len(want))
 	}
-	if !bytes.Equal(buf.Bytes(), live.Bytes()) {
-		t.Fatalf("trace and live encodings differ:\n%s\n---\n%s", buf.Bytes(), live.Bytes())
+	header, rest, found := bytes.Cut(live.Bytes(), []byte("\n"))
+	if !found || !bytes.HasPrefix(header, []byte(`{"ev":"meta",`)) {
+		t.Fatalf("live stream does not open with a meta header: %q", header)
+	}
+	if !bytes.Contains(header, []byte(`"tool":"obs_test"`)) {
+		t.Fatalf("header %q missing tool name", header)
+	}
+	if !bytes.Equal(buf.Bytes(), rest) {
+		t.Fatalf("trace and live encodings differ:\n%s\n---\n%s", buf.Bytes(), rest)
+	}
+
+	parsedLive, err := ParseJSONL(bytes.NewReader(live.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsedLive) != len(want)+1 {
+		t.Fatalf("parsed %d live events want %d", len(parsedLive), len(want)+1)
+	}
+	meta, ok := parsedLive[0].V.(Meta)
+	if !ok || meta.Env.IsZero() || meta.Tool != "obs_test" {
+		t.Fatalf("live header parsed as %+v", parsedLive[0])
+	}
+	if got := EnvOf(parsedLive); got != CaptureEnv() {
+		t.Fatalf("EnvOf = %+v want current env", got)
+	}
+	sum, err := Validate(parsedLive)
+	if err != nil {
+		t.Fatalf("live trace invalid: %v", err)
+	}
+	if sum.Metas != 1 {
+		t.Fatalf("summary %+v: want 1 meta", sum)
 	}
 
 	got, err := ParseJSONL(&buf)
@@ -174,6 +204,7 @@ func TestValidateRejects(t *testing.T) {
 		"mismatched-end":  {{KindRunStart, run}, {KindLevelStart, LevelStart{Level: 0}}, {KindLevelEnd, LevelEnd{Level: 1}}},
 		"edges-grow":      {{KindRunStart, run}, {KindLevelStart, LevelStart{Level: 0, EdgesIn: 4}}, {KindLevelEnd, LevelEnd{Level: 0, EdgesIn: 4}}, {KindLevelStart, LevelStart{Level: 1, EdgesIn: 9}}},
 		"out-exceeds-in":  {{KindRunStart, run}, {KindLevelStart, LevelStart{Level: 0, EdgesIn: 4}}, {KindLevelEnd, LevelEnd{Level: 0, EdgesIn: 4, EdgesOut: 5}}},
+		"meta-in-run":     {{KindRunStart, run}, {KindMeta, Meta{}}, {KindRunEnd, RunEnd{}}},
 		"unknown-phase":   {{KindPhase, Phase{Name: "warp_drive"}}},
 		"unknown-counter": {{KindCounter, Counter{Name: "bogus"}}},
 		"negative-round":  {{KindRound, Round{Frontier: -1}}},
@@ -247,6 +278,79 @@ func TestShardedInt64(t *testing.T) {
 	wg.Wait()
 	if got := s.Sum(); got != workers*perWorker {
 		t.Fatalf("concurrent Sum %d want %d", got, workers*perWorker)
+	}
+}
+
+// TestExpvarSinkConcurrentRuns drives two concurrent runs through one
+// shared sink — the documented sharing contract — and checks the cumulative
+// counters sum both runs exactly (the race detector guards the rest).
+func TestExpvarSinkConcurrentRuns(t *testing.T) {
+	s := NewExpvar("obsconc_")
+	const runsPerWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runsPerWorker; i++ {
+				emitAll(s)
+			}
+		}()
+	}
+	wg.Wait()
+	get := func(name string) int64 {
+		v, ok := expvar.Get("obsconc_" + name).(*expvar.Int)
+		if !ok {
+			t.Fatalf("variable %s not published", name)
+		}
+		return v.Value()
+	}
+	// emitAll: 1 run, 2 levels, 1 round, 3 phases with 4us total, 1 CAS retry.
+	if got := get("runs"); got != 2*runsPerWorker {
+		t.Fatalf("runs %d want %d", got, 2*runsPerWorker)
+	}
+	if got := get("levels"); got != 2*runsPerWorker*2 {
+		t.Fatalf("levels %d want %d", got, 2*runsPerWorker*2)
+	}
+	if got := get("rounds"); got != 2*runsPerWorker {
+		t.Fatalf("rounds %d want %d", got, 2*runsPerWorker)
+	}
+	if got := get("cas_retries"); got != 2*runsPerWorker {
+		t.Fatalf("cas_retries %d want %d", got, 2*runsPerWorker)
+	}
+	wantPhaseNS := int64(2*runsPerWorker) * int64(4*time.Microsecond)
+	phaseNS := get("phase_ns_init") + get("phase_ns_bfs_main") + get("phase_ns_contract")
+	if phaseNS != wantPhaseNS {
+		t.Fatalf("phase ns %d want %d", phaseNS, wantPhaseNS)
+	}
+}
+
+// TestShardedInt64SharedBetweenRuns mirrors the engine pattern of two
+// concurrent coordinators flushing worker counts through one accumulator.
+func TestShardedInt64SharedBetweenRuns(t *testing.T) {
+	s := NewShardedInt64(4)
+	var wg sync.WaitGroup
+	const perRun = 10_000
+	for run := 0; run < 2; run++ {
+		wg.Add(1)
+		go func(run int) {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				inner.Add(1)
+				go func(w int) {
+					defer inner.Done()
+					for i := 0; i < perRun; i++ {
+						s.Add(run*4+w, 1)
+					}
+				}(w)
+			}
+			inner.Wait()
+		}(run)
+	}
+	wg.Wait()
+	if got := s.Sum(); got != 2*4*perRun {
+		t.Fatalf("Sum %d want %d", got, 2*4*perRun)
 	}
 }
 

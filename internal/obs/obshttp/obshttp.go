@@ -1,0 +1,152 @@
+// Package obshttp is the live read side of the observability layer: a
+// debug HTTP server exposing the engine's current position, phase
+// histograms, and flight-recorder tail while a run executes, alongside the
+// stdlib's pprof and expvar endpoints. Attach a State's Recorder to a run
+// (Options.Recorder) and mount its Handler:
+//
+//	state := obshttp.NewState("cmd/connect", 0)
+//	srv, err := obshttp.Serve(":6060", state)
+//	...
+//	parconn.ConnectedComponents(g, parconn.Options{Recorder: state.Recorder()})
+//
+// Endpoints:
+//
+//	/debug/parconn  JSON snapshot: progress, per-(level, phase) histograms,
+//	                frontier/round histograms, recent events (flight tail)
+//	/debug/vars     expvar counters (cumulative across runs, parconn_* keys)
+//	/debug/pprof/   CPU/heap/goroutine profiles; decomposition levels run
+//	                under parconn_level/parconn_phase pprof labels
+//
+// Everything here reads through atomics or sink-internal locks, so a
+// snapshot request never blocks the run's coordinating goroutine.
+package obshttp
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"parconn/internal/obs"
+)
+
+// State bundles the read-side sinks one process exposes: live progress,
+// histograms, the flight-recorder tail, and cumulative expvar counters.
+// One State serves any number of sequential or concurrent runs.
+type State struct {
+	Progress *obs.Progress
+	Hists    *obs.HistogramSet
+	Flight   *obs.FlightRecorder
+
+	tool string
+	env  obs.Env
+	rec  obs.Recorder
+}
+
+// NewState builds the sink bundle. tool names the embedding program in the
+// snapshot; flightCap bounds the flight-recorder ring (0 means the default).
+func NewState(tool string, flightCap int) *State {
+	s := &State{
+		Progress: obs.NewProgress(),
+		Hists:    obs.NewHistogramSet(),
+		Flight:   obs.NewFlightRecorder(flightCap),
+		tool:     tool,
+		env:      obs.CaptureEnv(),
+	}
+	s.rec = obs.Multi(s.Progress, s.Hists, s.Flight, obs.NewExpvar(""))
+	return s
+}
+
+// Recorder returns the Recorder that feeds every sink in the bundle. Pass
+// it (possibly through obs.Multi with other sinks) as the run's Recorder.
+func (s *State) Recorder() obs.Recorder { return s.rec }
+
+// Snapshot is the JSON document served at /debug/parconn.
+type Snapshot struct {
+	Tool     string                   `json:"tool,omitempty"`
+	Env      obs.Env                  `json:"env"`
+	Progress obs.ProgressSnapshot     `json:"progress"`
+	Hist     obs.HistogramSetSnapshot `json:"histograms"`
+	Flight   FlightSnapshot           `json:"flight"`
+}
+
+// FlightSnapshot is the flight-recorder tail in JSONL event encoding.
+type FlightSnapshot struct {
+	Dropped int64             `json:"dropped"` // events older than the ring
+	Events  []json.RawMessage `json:"events,omitempty"`
+}
+
+// Snapshot collects the current state of every sink.
+func (s *State) Snapshot() (Snapshot, error) {
+	events, dropped := s.Flight.Snapshot()
+	fs := FlightSnapshot{Dropped: dropped, Events: make([]json.RawMessage, 0, len(events))}
+	var buf []byte
+	for _, ev := range events {
+		var err error
+		buf, err = obs.AppendRecord(nil, ev.Kind, ev.V)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		// AppendRecord terminates with a newline; RawMessage wants bare JSON.
+		fs.Events = append(fs.Events, json.RawMessage(buf[:len(buf)-1]))
+	}
+	return Snapshot{
+		Tool:     s.tool,
+		Env:      s.env,
+		Progress: s.Progress.Snapshot(),
+		Hist:     s.Hists.Snapshot(),
+		Flight:   fs,
+	}, nil
+}
+
+// serveSnapshot handles GET /debug/parconn.
+func (s *State) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// Handler returns the debug mux: /debug/parconn, /debug/vars, /debug/pprof.
+func (s *State) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/parconn", s.serveSnapshot)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("parconn debug server\n\n/debug/parconn\n/debug/vars\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+// Serve listens on addr and serves the debug handler in a background
+// goroutine, returning the bound listener address (useful with ":0").
+// The server lives until the process exits; debug servers have no graceful
+// shutdown story worth the plumbing in the CLI tools this backs.
+func Serve(addr string, s *State) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}

@@ -1,0 +1,134 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"parconn/internal/obs"
+)
+
+// drive pushes one small well-formed run through the state's recorder.
+func drive(rec obs.Recorder) {
+	rec.RunStart(obs.RunStart{Algorithm: "decomp-arb-hybrid-CC", Vertices: 100, Edges: 400, Procs: 2, Seed: 7, Beta: 0.2})
+	rec.LevelStart(obs.LevelStart{Level: 0, Vertices: 100, EdgesIn: 400})
+	rec.Round(obs.Round{Level: 0, Round: 0, Frontier: 10, NewCenters: 10, Duration: 3 * time.Microsecond})
+	rec.Phase(obs.Phase{Level: 0, Name: obs.PhaseBFSSparse, Duration: 5 * time.Microsecond})
+	rec.LevelEnd(obs.LevelEnd{Level: 0, Vertices: 100, EdgesIn: 400, EdgesCut: 40, EdgesOut: 20, Components: 30, Rounds: 1})
+	rec.Phase(obs.Phase{Level: 0, Name: obs.PhaseContract, Duration: 2 * time.Microsecond})
+	rec.RunEnd(obs.RunEnd{Components: 3, Duration: 20 * time.Microsecond})
+}
+
+func TestDebugParconnEndpoint(t *testing.T) {
+	state := NewState("obshttp_test", 8)
+	drive(state.Recorder())
+
+	srv := httptest.NewServer(state.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/parconn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tool != "obshttp_test" || snap.Env.IsZero() {
+		t.Fatalf("snapshot header %+v %+v", snap.Tool, snap.Env)
+	}
+	if snap.Progress.RunsDone != 1 || snap.Progress.Components != 3 {
+		t.Fatalf("progress %+v", snap.Progress)
+	}
+	if len(snap.Hist.Phases) != 2 {
+		t.Fatalf("phase histograms %+v", snap.Hist.Phases)
+	}
+	if snap.Hist.Frontier.Count != 1 || snap.Hist.Frontier.Max != 10 {
+		t.Fatalf("frontier histogram %+v", snap.Hist.Frontier)
+	}
+	if snap.Flight.Dropped != 0 || len(snap.Flight.Events) != 7 {
+		t.Fatalf("flight %d dropped, %d events", snap.Flight.Dropped, len(snap.Flight.Events))
+	}
+	// Flight events reuse the JSONL encoding, kind-tagged (re-indented by
+	// the snapshot's MarshalIndent).
+	var tag struct {
+		Ev string `json:"ev"`
+	}
+	if err := json.Unmarshal(snap.Flight.Events[0], &tag); err != nil || tag.Ev != "run_start" {
+		t.Fatalf("flight event %s: tag %q err %v", snap.Flight.Events[0], tag.Ev, err)
+	}
+}
+
+func TestDebugVarsAndPprofMounted(t *testing.T) {
+	state := NewState("obshttp_test", 0)
+	drive(state.Recorder())
+	srv := httptest.NewServer(state.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", resp.StatusCode)
+	}
+}
+
+func TestServeBindsAndAnswers(t *testing.T) {
+	state := NewState("obshttp_test", 0)
+	addr, err := Serve("127.0.0.1:0", state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(state.Recorder())
+	resp, err := http.Get("http://" + addr.String() + "/debug/parconn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Progress.RunsStarted != 1 {
+		t.Fatalf("progress %+v", snap.Progress)
+	}
+}
+
+func TestSnapshotDuringLiveRun(t *testing.T) {
+	// A snapshot taken mid-run (between coordinator emissions) must show the
+	// in-flight position without waiting for the run to finish.
+	state := NewState("obshttp_test", 0)
+	rec := state.Recorder()
+	rec.RunStart(obs.RunStart{Algorithm: "decomp-arb-CC", Vertices: 10, Edges: 20})
+	rec.LevelStart(obs.LevelStart{Level: 0, Vertices: 10, EdgesIn: 20})
+	rec.Round(obs.Round{Level: 0, Round: 2, Frontier: 5})
+
+	snap, err := state.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Progress.Running || snap.Progress.Level != 0 || snap.Progress.Round != 2 || snap.Progress.Frontier != 5 {
+		t.Fatalf("mid-run progress %+v", snap.Progress)
+	}
+}

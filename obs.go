@@ -60,9 +60,56 @@ func NewExpvarRecorder(prefix string) Recorder { return obs.NewExpvar(prefix) }
 // when all are nil.
 func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
 
+// Histogram counts non-negative samples (nanosecond durations, frontier
+// sizes) in fixed log2-spaced buckets; recording is wait-free and
+// allocation-free, and histograms merge. The zero value is ready to use.
+type Histogram = obs.Histogram
+
+// HistogramSnapshot is a point-in-time histogram copy with quantile
+// estimation (the JSON shape served by the debug endpoint).
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// HistogramSet is a Recorder aggregating the event stream into histograms:
+// per-(level, phase) durations, per-round frontier sizes and durations.
+type HistogramSet = obs.HistogramSet
+
+// NewHistogramSet returns an empty histogram-aggregating recorder.
+func NewHistogramSet() *HistogramSet { return obs.NewHistogramSet() }
+
+// FlightRecorder retains the most recent events in a bounded ring for live
+// or post-mortem inspection of a long run's tail.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder returns a recorder retaining the last n events (n <= 0
+// selects the default capacity).
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }
+
+// Progress exposes the engine's current run/level/round/phase through
+// atomics, so a concurrent reader never blocks the coordinator.
+type Progress = obs.Progress
+
+// NewProgress returns an empty live-progress recorder.
+func NewProgress() *Progress { return obs.NewProgress() }
+
+// Env records the execution environment a trace was captured in; traces
+// from mismatched environments are not directly comparable.
+type Env = obs.Env
+
+// CaptureEnv reads the current process environment (go version, GOMAXPROCS,
+// CPU count, OS/arch).
+func CaptureEnv() Env { return obs.CaptureEnv() }
+
+// TraceEnvOf extracts the capture environment of a parsed trace (from its
+// meta header or first RunStart), zero when the trace predates recording.
+func TraceEnvOf(events []TraceEvent) Env { return obs.EnvOf(events) }
+
 // TraceEvent is one parsed trace record: the JSONL kind tag plus the
 // concrete event struct (RunStart, Round, ...) by value.
 type TraceEvent = obs.Event
+
+// ReplayTrace dispatches parsed trace events back into a Recorder, letting
+// offline tools aggregate stored traces through the live sinks.
+func ReplayTrace(rec Recorder, events []TraceEvent) { obs.Replay(rec, events) }
 
 // ParseTrace decodes a JSONL trace stream (as written by JSONLRecorder or
 // Trace.WriteJSONL) back into typed events.
