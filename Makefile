@@ -47,9 +47,20 @@ trace-regression:
 testdata/trace-baseline-rmat14.jsonl:
 	$(GO) run ./cmd/connect -gen rmat -scale 14 -seed 42 -trace $@
 
+# parconnvet fails on active findings AND on stale //parconn:allow
+# suppressions (an allow that matches no finding is itself a finding).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/parconnvet ./...
+
+# Machine-readable findings report (what CI uploads as an artifact) and the
+# inferred hot-path/parallel-context sets with per-function provenance.
+vet-json:
+	$(GO) run ./cmd/parconnvet -json /tmp/parconnvet-findings.json ./... ; \
+	cat /tmp/parconnvet-findings.json
+
+vet-graph:
+	$(GO) run ./cmd/parconnvet -graph - ./...
 
 # Everything that must pass before a change lands: formatting, go vet, and
 # the repository's own static analyses (see DESIGN.md "Correctness tooling").

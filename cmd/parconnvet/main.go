@@ -1,12 +1,14 @@
 // Command parconnvet runs this repository's concurrency-safety static
-// analyses over the module: mixedatomic, sharedwrite, norand,
-// conversioncheck, and obsrecorder (see internal/analysis and DESIGN.md
-// §"Correctness tooling"). It is stdlib-only and wired into `make vet` /
-// `make check`.
+// analyses over the module: the per-file checks (mixedatomic, sharedwrite,
+// norand, conversioncheck, obsrecorder) and the interprocedural checks
+// built on the module-wide call graph (hotalloc, blockingcall,
+// scratchlifetime) — see internal/analysis and DESIGN.md §"Correctness
+// tooling" / §"Interprocedural analysis". It is stdlib-only and wired into
+// `make vet` / `make check`.
 //
 // Usage:
 //
-//	parconnvet [-v] [packages]
+//	parconnvet [-v] [-json file] [-graph file] [packages]
 //
 // With no arguments (or "./..."), every package of the enclosing module is
 // analyzed. Arguments select packages by import path or directory, with a
@@ -16,13 +18,18 @@
 //
 // and the exit status is 1 when any unsuppressed finding exists, 2 on load
 // errors, 0 otherwise. Intentional idioms are suppressed in source with
-// `//parconn:allow <check> <reason>` comments; -v lists what was
-// suppressed.
+// `//parconn:allow <check> <reason>` comments; a suppression that matches
+// no finding is itself an active finding, so stale allows fail the run.
+// -v lists what was suppressed; -json writes a machine-readable report
+// (active + suppressed, module-relative paths; "-" for stdout); -graph
+// dumps the inferred hot-path/parallel-context sets with per-function
+// provenance ("-" for stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,15 +39,17 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "also list suppressed findings and per-package stats")
+	jsonOut := flag.String("json", "", "write a JSON findings report to `file` (\"-\" for stdout)")
+	graphOut := flag.String("graph", "", "dump the inferred context sets to `file` (\"-\" for stdout)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: parconnvet [-v] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: parconnvet [-v] [-json file] [-graph file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args(), *verbose))
+	os.Exit(run(flag.Args(), *verbose, *jsonOut, *graphOut))
 }
 
-func run(args []string, verbose bool) int {
+func run(args []string, verbose bool, jsonOut, graphOut string) int {
 	root, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parconnvet:", err)
@@ -53,17 +62,23 @@ func run(args []string, verbose bool) int {
 	}
 
 	var active, suppressed []analysis.Finding
+	var pkgs []string
 	analyzed := 0
 	for _, pass := range passes {
 		if !selected(pass.Path, args) {
 			continue
 		}
 		analyzed++
+		pkgs = append(pkgs, pass.Path)
 		findings := analysis.CheckAllows(pass)
 		for _, a := range analysis.All() {
 			findings = append(findings, a.Run(pass)...)
 		}
 		act, sup := analysis.Apply(pass, findings)
+		// A well-formed allow that suppressed nothing is dead weight that
+		// reads as documentation of a hazard that does not exist: hard
+		// failure, same as any other active finding.
+		act = append(act, analysis.UnusedAllows(pass, sup)...)
 		active = append(active, act...)
 		suppressed = append(suppressed, sup...)
 	}
@@ -73,21 +88,67 @@ func run(args []string, verbose bool) int {
 	}
 
 	analysis.SortFindings(active)
+	analysis.SortFindings(suppressed)
 	for _, f := range active {
 		fmt.Println(relativize(root, f))
 	}
 	if verbose {
-		analysis.SortFindings(suppressed)
 		for _, f := range suppressed {
 			fmt.Printf("suppressed: %s\n", relativize(root, f))
 		}
 		fmt.Fprintf(os.Stderr, "parconnvet: %d packages, %d findings, %d suppressed\n",
 			analyzed, len(active), len(suppressed))
 	}
+	if jsonOut != "" {
+		report := analysis.NewReport(root, modulePath(root), pkgs, active, suppressed)
+		if err := withOutput(jsonOut, report.Write); err != nil {
+			fmt.Fprintln(os.Stderr, "parconnvet:", err)
+			return 2
+		}
+	}
+	if graphOut != "" {
+		if err := withOutput(graphOut, func(w io.Writer) error {
+			return passes[0].Mod.WriteGraph(w)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "parconnvet:", err)
+			return 2
+		}
+	}
 	if len(active) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// withOutput runs emit against the named file, with "-" meaning stdout.
+func withOutput(name string, emit func(io.Writer) error) error {
+	if name == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// modulePath reads the module line of root's go.mod; report labeling only,
+// so a malformed file degrades to an empty name rather than an error.
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
 }
 
 // selected reports whether the package path matches any of the argument

@@ -1,16 +1,84 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parconn/internal/analysis"
+)
 
 // TestRepoIsClean runs the full analysis over the module, as `make vet`
 // does, and demands a clean bill: any new finding must either be fixed or
-// carry a //parconn:allow comment with a justification.
+// carry a //parconn:allow comment with a justification. Unused allows count
+// as findings, so stale suppressions fail here too.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short runs")
 	}
-	if code := run(nil, false); code != 0 {
+	if code := run(nil, false, "", ""); code != 0 {
 		t.Fatalf("parconnvet over the module exited %d, want 0 (run `go run ./cmd/parconnvet -v ./...` for details)", code)
+	}
+}
+
+// TestJSONReport exercises the -json flag end to end: the report written
+// for the module must read back identical and carry relative paths only.
+func TestJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	out := filepath.Join(t.TempDir(), "findings.json")
+	if code := run(nil, false, out, ""); code != 0 {
+		t.Fatalf("run exited %d, want 0", code)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("opening report: %v", err)
+	}
+	defer f.Close()
+	rep, err := analysis.ReadReport(f)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if rep.Module != "parconn" {
+		t.Errorf("Module = %q, want parconn", rep.Module)
+	}
+	if len(rep.Packages) == 0 {
+		t.Error("report lists no packages")
+	}
+	if len(rep.Active) != 0 {
+		t.Errorf("report has %d active findings, want 0", len(rep.Active))
+	}
+	if len(rep.Suppressed) == 0 {
+		t.Error("report lists no suppressed findings; the annotated repo should have many")
+	}
+	for _, f := range rep.Suppressed {
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q is absolute; report paths must be module-relative", f.File)
+		}
+	}
+}
+
+// TestGraphDump checks the -graph flag writes a non-empty context dump
+// including the hot-path root.
+func TestGraphDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	out := filepath.Join(t.TempDir(), "graph.txt")
+	if code := run(nil, false, "", out); code != 0 {
+		t.Fatalf("run exited %d, want 0", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading graph dump: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("graph dump is empty")
+	}
+	if want := "ccLevel"; !strings.Contains(string(data), want) {
+		t.Errorf("graph dump does not mention %q, the marked hot-path root", want)
 	}
 }
 

@@ -19,19 +19,32 @@
 //	                passed to the parallel entry points; parallel code
 //	                buffers per-worker measurements (obs.ShardedInt64) and
 //	                the coordinator emits events between sections
+//	hotalloc        functions reachable from a //parconn:hotpath root must
+//	                not contain allocating constructs (make, append, ...)
+//	blockingcall    functions reachable from a parallel entry-point closure
+//	                must not block (channels, mutexes, IO, time.Sleep)
+//	scratchlifetime workspace.Arena buffers must not escape their acquiring
+//	                function (field stores, pointer stores, returns)
+//
+// The first five checks are per-file AST checks; the last three are
+// interprocedural, consuming the module-wide call graph and the inferred
+// parallel-context and hot-path sets (callgraph.go, context.go) attached
+// to each Pass by LoadModule and LoadFixture.
 //
 // Findings print as "file:line:col: [check] message". Intentional idioms
-// (e.g. Decomp-Arb's phase-separated plain reads) are suppressed line by
-// line with
+// (e.g. Decomp-Arb's phase-separated plain reads) are suppressed with
 //
 //	//parconn:allow <check>[,<check>...] <reason>
 //
-// placed on the flagged line or the line directly above it. The reason is
-// mandatory; a missing reason or unknown check name is itself reported.
+// placed on the flagged line or the line directly above it; a comment
+// directly above a function declaration covers the whole declaration. The
+// reason is mandatory; a missing reason or unknown check name is itself
+// reported, and a suppression that matches no finding is reported stale
+// (UnusedAllows).
 //
-// The checks are intraprocedural: an object that escapes to another
-// function under a different name (slice aliasing, address-taking) is
-// tracked per declaration, not per memory region.
+// The per-file checks are intraprocedural: an object that escapes to
+// another function under a different name (slice aliasing,
+// address-taking) is tracked per declaration, not per memory region.
 package analysis
 
 import (
@@ -68,6 +81,12 @@ type Pass struct {
 	Files   []*ast.File
 	Pkg     *types.Package
 	Info    *types.Info
+
+	// Mod is the module-wide interprocedural view (call graph and context
+	// sets) shared by every pass of one load; nil when a package was
+	// type-checked in isolation, in which case the interprocedural checks
+	// are silently skipped.
+	Mod *Module
 }
 
 func (p *Pass) finding(pos token.Pos, check, format string, args ...any) Finding {
@@ -76,7 +95,10 @@ func (p *Pass) finding(pos token.Pos, check, format string, args ...any) Finding
 
 // All returns the analyzers in the order they run.
 func All() []Analyzer {
-	return []Analyzer{mixedAtomic{}, sharedWrite{}, noRand{}, conversionCheck{}, obsRecorder{}}
+	return []Analyzer{
+		mixedAtomic{}, sharedWrite{}, noRand{}, conversionCheck{}, obsRecorder{},
+		hotAllocAnalyzer{}, blockingCallAnalyzer{}, scratchLifetimeAnalyzer{},
+	}
 }
 
 // checkNames is the set of valid check names for //parconn:allow comments.
@@ -101,11 +123,15 @@ type allowComment struct {
 
 // allowsIn parses every //parconn:allow comment of the pass. A comment
 // covers its own line and the line following its comment group, so it can
-// sit at the end of the flagged line or directly above it.
+// sit at the end of the flagged line or directly above it. When the
+// covered line opens a function declaration, coverage extends to the
+// whole declaration: one annotated reason covers a scheduler or packing
+// primitive without per-line noise.
 func allowsIn(pass *Pass) []allowComment {
 	var out []allowComment
 	for _, file := range pass.Files {
 		fname := pass.Fset.Position(file.Pos()).Filename
+		start := len(out)
 		for _, group := range file.Comments {
 			for _, c := range group.List {
 				rest, ok := strings.CutPrefix(c.Text, allowMarker)
@@ -126,6 +152,23 @@ func allowsIn(pass *Pass) []allowComment {
 					a.reason = strings.Join(fields[1:], " ")
 				}
 				out = append(out, a)
+			}
+		}
+		for i := start; i < len(out); i++ {
+			a := &out[i]
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				first := pass.Fset.Position(fd.Pos()).Line
+				if !a.lines[first] {
+					continue
+				}
+				last := pass.Fset.Position(fd.End()).Line
+				for l := first; l <= last; l++ {
+					a.lines[l] = true
+				}
 			}
 		}
 	}
@@ -149,6 +192,46 @@ func CheckAllows(pass *Pass) []Finding {
 		}
 		if a.reason == "" {
 			out = append(out, pass.finding(a.pos, "allow", "suppression of %s is missing its mandatory reason", strings.Join(a.checks, ",")))
+		}
+	}
+	return out
+}
+
+// UnusedAllows reports well-formed //parconn:allow comments that
+// suppressed nothing in the given suppressed set (as returned by Apply
+// for the same pass): stale suppressions hide nothing but rot into
+// misleading documentation, so parconnvet fails on them. Malformed
+// comments are CheckAllows's findings, not repeated here.
+func UnusedAllows(pass *Pass, suppressed []Finding) []Finding {
+	var out []Finding
+	for _, a := range allowsIn(pass) {
+		if len(a.checks) == 0 || a.reason == "" {
+			continue
+		}
+		known := true
+		for _, c := range a.checks {
+			if !checkNames[c] {
+				known = false
+			}
+		}
+		if !known {
+			continue
+		}
+		used := false
+		for _, f := range suppressed {
+			if f.Pos.Filename != a.file || !a.lines[f.Pos.Line] {
+				continue
+			}
+			for _, c := range a.checks {
+				if c == f.Check {
+					used = true
+				}
+			}
+		}
+		if !used {
+			out = append(out, pass.finding(a.pos, "allow",
+				"suppression of %s matches no finding; remove the stale allow",
+				strings.Join(a.checks, ",")))
 		}
 	}
 	return out

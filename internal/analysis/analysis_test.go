@@ -80,7 +80,10 @@ func itoa(n int) string {
 // an exact match between findings and `want` comments: every expectation
 // observed, no extra findings.
 func TestAnalyzerFixtures(t *testing.T) {
-	for _, name := range []string{"mixedatomic", "sharedwrite", "norand", "conversioncheck", "obsrecorder"} {
+	for _, name := range []string{
+		"mixedatomic", "sharedwrite", "norand", "conversioncheck", "obsrecorder",
+		"hotalloc", "blockingcall", "scratchlifetime",
+	} {
 		t.Run(name, func(t *testing.T) {
 			pass := loadFixture(t, name)
 			findings, _ := Apply(pass, analyzerNamed(t, name).Run(pass))

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The blockingcall check enforces the wait-free contract on the
+// parallel-context set (context.go): a function that may run on a
+// parallel.Pool worker must not park the worker. It flags channel sends,
+// receives, selects without a default clause, ranging over a channel,
+// time.Sleep, calls into the blocking standard-library packages (io, os,
+// net, syscall, ...), fmt's writing and scanning entry points, and the
+// blocking sync primitives (Lock, RLock, Wait, Once.Do, and all of
+// sync.Map, which takes an internal mutex). Selects WITH a default
+// clause are the sanctioned non-blocking pattern (the pool's own task
+// enqueue) and are exempt along with their communication operands.
+// Scheduler internals that must block by design carry //parconn:allow
+// blockingcall annotations with the reason.
+type blockingCallAnalyzer struct{}
+
+func (blockingCallAnalyzer) Name() string { return "blockingcall" }
+
+// blockingPkgs are import paths any call into which can block on IO or
+// the OS.
+var blockingPkgs = map[string]bool{
+	"os":       true,
+	"os/exec":  true,
+	"io":       true,
+	"io/fs":    true,
+	"bufio":    true,
+	"net":      true,
+	"net/http": true,
+	"syscall":  true,
+}
+
+// blockingSyncMethods are the sync-package methods that can park the
+// caller (Unlock/RUnlock/TryLock and friends cannot).
+var blockingSyncMethods = map[string]bool{
+	"Lock":  true,
+	"RLock": true,
+	"Wait":  true,
+	"Do":    true,
+}
+
+func (blockingCallAnalyzer) Run(pass *Pass) []Finding {
+	var findings []Finding
+	eachFunc(pass, func(node funcNode, body *ast.BlockStmt) {
+		if !pass.Mod.Par(node) {
+			return
+		}
+		where := " in parallel-context function (" + pass.Mod.ParVia(node) + ")"
+		flag := func(pos token.Pos, msg string) {
+			findings = append(findings, Finding{
+				Pos:     pass.Fset.Position(pos),
+				Check:   "blockingcall",
+				Message: msg + where,
+			})
+		}
+		// Communication operands of selects that have a default clause
+		// are non-blocking by construction; collect them first.
+		exempt := make(map[ast.Node]bool)
+		shallowInspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			hasDefault := false
+			for _, clause := range sel.Body.List {
+				if clause.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			exempt[sel] = true
+			for _, clause := range sel.Body.List {
+				markCommExempt(clause.(*ast.CommClause).Comm, exempt)
+			}
+			return true
+		})
+		shallowInspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SendStmt:
+				if !exempt[x] {
+					flag(x.Arrow, "channel send may block")
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW && !exempt[x] {
+					flag(x.Pos(), "channel receive may block")
+				}
+			case *ast.SelectStmt:
+				if !exempt[x] {
+					flag(x.Pos(), "select without default blocks")
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						flag(x.Pos(), "ranging over a channel blocks")
+					}
+				}
+			case *ast.CallExpr:
+				checkBlockingCall(pass, x, flag)
+			}
+			return true
+		})
+	})
+	return findings
+}
+
+// markCommExempt records a select clause's communication statement and
+// the channel operation inside it as exempt from blocking findings.
+func markCommExempt(comm ast.Stmt, exempt map[ast.Node]bool) {
+	if comm == nil {
+		return
+	}
+	exempt[comm] = true
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		// the statement itself
+	case *ast.ExprStmt:
+		exempt[unparen(c.X)] = true
+	case *ast.AssignStmt:
+		for _, rhs := range c.Rhs {
+			exempt[unparen(rhs)] = true
+		}
+	}
+}
+
+// checkBlockingCall flags calls that resolve to blocking standard-library
+// functions or methods.
+func checkBlockingCall(pass *Pass, call *ast.CallExpr, flag func(token.Pos, string)) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case blockingPkgs[pkg]:
+		flag(call.Pos(), pkg+"."+name+" may block on IO")
+	case pkg == "time" && name == "Sleep":
+		flag(call.Pos(), "time.Sleep parks the worker")
+	case pkg == "fmt" && (strings.HasPrefix(name, "Print") ||
+		strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Scan") ||
+		strings.HasPrefix(name, "Fscan") || strings.HasPrefix(name, "Sscan")):
+		flag(call.Pos(), "fmt."+name+" writes to a stream and may block")
+	case pkg == "sync" && fn.Type().(*types.Signature).Recv() != nil:
+		recv := fn.Type().(*types.Signature).Recv().Type()
+		if blockingSyncMethods[name] {
+			flag(call.Pos(), "sync."+recvName(recv)+"."+name+" may block")
+		} else if recvName(recv) == "Map" {
+			flag(call.Pos(), "sync.Map."+name+" takes an internal mutex and may block")
+		}
+	}
+}
+
+// recvName returns the bare type name of a method receiver.
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

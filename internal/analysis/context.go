@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"io"
+	"sort"
+)
+
+// This file infers the two interprocedural context sets over the call
+// graph (callgraph.go):
+//
+//   - The parallel-context set: every function reachable from a closure
+//     the parallel package's fork-join entry points may run on a worker
+//     goroutine — closure arguments at the call sites, plus every literal
+//     bound to a variable or struct field that is ever passed to an entry
+//     point (the machine pattern). The blockingcall check holds this set
+//     to the wait-free contract.
+//   - The hot-path set: every function reachable from a declared function
+//     carrying a //parconn:hotpath directive (the per-level CC/decomp
+//     loop). The hotalloc check holds this set to the allocation-free
+//     steady-state contract.
+//
+// Propagation is (a) by reference — see Module.refs — and (b) lexical:
+// a literal nested inside an in-set function is in-set, because closures
+// created in a context overwhelmingly run in it or are handed onward
+// within it. Parallel-context propagation skips go statements (the
+// spawned goroutine does not block the worker); hot-path propagation
+// follows them (the spawned work and its allocations are still charged
+// to the hot path).
+
+// buildModule collects the call graph over passes, infers both context
+// sets, and attaches the module to every pass.
+func buildModule(passes []*Pass) *Module {
+	m := collectModule(passes)
+	m.hot = m.reach(m.hotRoots(), false)
+	m.par = m.reach(m.parRoots(), true)
+	for _, pass := range passes {
+		pass.Mod = m
+	}
+	return m
+}
+
+// hotRoots returns the declared functions marked //parconn:hotpath.
+func (m *Module) hotRoots() map[funcNode]string {
+	roots := make(map[funcNode]string)
+	for n, info := range m.nodes {
+		if info.hotRoot {
+			roots[n] = "marked " + hotPathMarker
+		}
+	}
+	return roots
+}
+
+// parRoots returns the entry points of the parallel-context set: for every
+// call to a parallel fork-join entry, each function-typed argument —
+// literals directly, declared functions directly, and variables or fields
+// through every literal assigned to them anywhere in the module.
+func (m *Module) parRoots() map[funcNode]string {
+	roots := make(map[funcNode]string)
+	for _, info := range m.nodes {
+		info := info
+		if info.body == nil {
+			continue
+		}
+		pass := info.pass
+		ast.Inspect(info.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParallelEntry(pass.Info, call) {
+				return true
+			}
+			entry := "parallel entry at " + m.posOf(pass, call)
+			for _, arg := range call.Args {
+				arg = unparen(arg)
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if _, isFunc := tv.Type.Underlying().(*types.Signature); !isFunc {
+					continue
+				}
+				switch a := arg.(type) {
+				case *ast.FuncLit:
+					roots[a] = "closure passed to " + entry
+				default:
+					switch obj := rootObject(pass.Info, arg).(type) {
+					case *types.Func:
+						// Unreachable through rootObject today, kept for
+						// clarity; the Ident/Selector cases below match.
+					case *types.Var:
+						for _, lit := range m.litAssigns[obj] {
+							roots[lit] = fmt.Sprintf("bound closure %q passed to %s", obj.Name(), entry)
+						}
+						_ = obj
+					}
+					if id, ok := arg.(*ast.Ident); ok {
+						if fn, ok := pass.Info.Uses[id].(*types.Func); ok {
+							if _, known := m.nodes[fn]; known {
+								roots[fn] = "function passed to " + entry
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// reach computes the closure of roots under reference edges and lexical
+// nesting, recording for every member a short provenance string (its root
+// description, or the name of the function it was reached from).
+func (m *Module) reach(roots map[funcNode]string, skipGo bool) map[funcNode]string {
+	set := make(map[funcNode]string, len(roots))
+	var queue []funcNode
+	add := func(n funcNode, via string) {
+		if _, ok := set[n]; ok {
+			return
+		}
+		if _, known := m.nodes[n]; !known {
+			return
+		}
+		set[n] = via
+		queue = append(queue, n)
+	}
+	for n, why := range roots {
+		add(n, why)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		info := m.nodes[n]
+		via := "reachable via " + info.name
+		for _, lit := range info.lits {
+			add(lit, via)
+		}
+		m.refs(n, skipGo, func(t funcNode) { add(t, via) })
+	}
+	return set
+}
+
+// posOf formats a position relative to the module layout.
+func (m *Module) posOf(pass *Pass, pos ast.Node) string {
+	p := pass.Fset.Position(pos.Pos())
+	return fmt.Sprintf("%s:%d", trimModulePath(p.Filename), p.Line)
+}
+
+// Hot reports whether the function node n (a *types.Func or *ast.FuncLit)
+// is in the hot-path set.
+func (m *Module) Hot(n funcNode) bool { _, ok := m.hot[n]; return ok }
+
+// Par reports whether n is in the parallel-context set.
+func (m *Module) Par(n funcNode) bool { _, ok := m.par[n]; return ok }
+
+// HotVia returns the provenance recorded when n entered the hot-path set.
+func (m *Module) HotVia(n funcNode) string { return m.hot[n] }
+
+// ParVia returns the provenance recorded when n entered the parallel set.
+func (m *Module) ParVia(n funcNode) string { return m.par[n] }
+
+// lookup returns the first node whose qualified name contains substr
+// (tests and debugging).
+func (m *Module) lookup(substr string) funcNode {
+	var best funcNode
+	bestName := ""
+	for n, info := range m.nodes {
+		if containsSub(info.name, substr) && (best == nil || info.name < bestName) {
+			best, bestName = n, info.name
+		}
+	}
+	return best
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// eachFunc invokes fn once per function-like body declared in pass's
+// files — declared functions and every function literal — with the node
+// key used by the context sets. Analyzers pair it with shallowInspect so
+// each body is scanned exactly once, in its own context.
+func eachFunc(pass *Pass, fn func(node funcNode, body *ast.BlockStmt)) {
+	if pass.Mod == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					if node := pass.Mod.nodeOf(pass, x); node != nil {
+						fn(node, x.Body)
+					}
+				}
+			case *ast.FuncLit:
+				fn(x, x.Body)
+			}
+			return true
+		})
+	}
+}
+
+// shallowInspect walks body without descending into nested function
+// literals, which are separate nodes with their own contexts.
+func shallowInspect(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// WriteGraph dumps the inferred contexts: one line per in-set function,
+// flagged hot/par with its provenance — the -graph debug view of
+// cmd/parconnvet.
+func (m *Module) WriteGraph(w io.Writer) error {
+	type row struct {
+		name, flags, via string
+	}
+	var rows []row
+	for n, info := range m.nodes {
+		hot, par := m.Hot(n), m.Par(n)
+		if !hot && !par {
+			continue
+		}
+		flags := ""
+		via := ""
+		if hot {
+			flags += "hot"
+			via = m.HotVia(n)
+		}
+		if par {
+			if flags != "" {
+				flags += "+"
+			}
+			flags += "par"
+			if via == "" {
+				via = m.ParVia(n)
+			}
+		}
+		rows = append(rows, row{info.name, flags, via})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-7s %s\t(%s)\n", r.flags, r.name, r.via); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# %d of %d functions in context (hot: %d, par: %d)\n",
+		len(rows), len(m.nodes), len(m.hot), len(m.par))
+	return err
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotPathInference pins the hot-path set over the hotalloc fixture:
+// the marked root, everything it references (including through a go
+// statement), and lexically nested literals are hot; unreferenced
+// functions are not.
+func TestHotPathInference(t *testing.T) {
+	m := loadFixture(t, "hotalloc").Mod
+	for _, name := range []string{"level", "helper", "drain", "usesClosure", "each"} {
+		n := m.lookup(name)
+		if n == nil {
+			t.Fatalf("no node matching %q", name)
+		}
+		if !m.Hot(n) {
+			t.Errorf("%s should be in the hot-path set", name)
+		}
+		if m.HotVia(n) == "" {
+			t.Errorf("%s has no hot-path provenance", name)
+		}
+	}
+	if n := m.lookup("cold"); n == nil {
+		t.Fatal("no node matching cold")
+	} else if m.Hot(n) {
+		t.Error("cold is not referenced from the root and must stay out of the hot-path set")
+	}
+}
+
+// TestParallelContextInference pins the parallel-context set over the
+// blockingcall fixture: entry-point closures and their callees are in;
+// bound closures are found through litAssigns; coordinator code is out.
+func TestParallelContextInference(t *testing.T) {
+	m := loadFixture(t, "blockingcall").Mod
+	if n := m.lookup("helper"); n == nil || !m.Par(n) {
+		t.Error("helper is called from a parallel closure and must be in the parallel-context set")
+	}
+	if n := m.lookup("coordinator"); n == nil || m.Par(n) {
+		t.Error("coordinator must stay out of the parallel-context set")
+	}
+	// The machine's bound closure (assigned to the fn field, passed to
+	// Blocks elsewhere) must be resolved through litAssigns.
+	boundLits := 0
+	for _, lits := range m.litAssigns {
+		boundLits += len(lits)
+	}
+	if boundLits == 0 {
+		t.Error("litAssigns resolved no bound closures; the machine pattern is broken")
+	}
+	if len(m.par) < 4 {
+		t.Errorf("parallel-context set has %d members, want at least 4 (three closures + helper)", len(m.par))
+	}
+}
+
+// TestWriteGraph smoke-tests the -graph dump format over a fixture with
+// both context sets populated.
+func TestWriteGraph(t *testing.T) {
+	m := loadFixture(t, "hotalloc").Mod
+	var sb strings.Builder
+	if err := m.WriteGraph(&sb); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "hot") {
+		t.Errorf("graph dump has no hot-flagged rows:\n%s", out)
+	}
+	if !strings.Contains(out, "level") {
+		t.Errorf("graph dump does not list the root:\n%s", out)
+	}
+	if !strings.Contains(out, "# ") {
+		t.Errorf("graph dump is missing its summary line:\n%s", out)
+	}
+}

@@ -7,11 +7,14 @@ import (
 	"strings"
 )
 
-// conversionCheck flags int/int64 -> int32 conversions of count-like
-// expressions (vertex and edge counts: n, m, len(...), *count*, *size*, ...)
-// that are not preceded by an explicit bounds comparison in the same
-// function. Vertex ids in this library are int32; converting an unchecked
-// count silently truncates once an input crosses 2^31 vertices or edges.
+// conversionCheck flags int/int64 -> int32 and -> uint32 conversions of
+// count-like expressions (vertex and edge counts: n, m, len(...),
+// *count*, *size*, ...) that are not preceded by an explicit bounds
+// comparison in the same function. Vertex ids in this library are int32;
+// converting an unchecked count silently truncates once an input crosses
+// 2^31 vertices or edges, and the unsigned form additionally
+// reinterprets negative counts as huge positives (uint32(len(x)) is the
+// classic hash-mask habit that goes wrong on empty-minus-one).
 //
 // A conversion is considered checked when the enclosing function contains
 // any comparison whose operand text matches the converted expression
@@ -96,7 +99,7 @@ func checkConversions(pass *Pass, body *ast.BlockStmt) []Finding {
 			return true
 		}
 		dst, ok := tv.Type.Underlying().(*types.Basic)
-		if !ok || dst.Kind() != types.Int32 {
+		if !ok || (dst.Kind() != types.Int32 && dst.Kind() != types.Uint32) {
 			return true
 		}
 		arg := unparen(call.Args[0])
@@ -111,9 +114,15 @@ func checkConversions(pass *Pass, body *ast.BlockStmt) []Finding {
 		if !countLike(arg) || compared[types.ExprString(arg)] {
 			return true
 		}
+		// uint32 additionally reinterprets any negative count; the message
+		// names the actual destination so the fix is obvious at the site.
+		limit := "2^31"
+		if dst.Kind() == types.Uint32 {
+			limit = "2^32 (and reinterprets negative values)"
+		}
 		out = append(out, pass.finding(call.Pos(), "conversioncheck",
-			"unchecked %s -> int32 conversion of count-like %q can overflow past 2^31; bounds-check it first",
-			src.Name(), types.ExprString(arg)))
+			"unchecked %s -> %s conversion of count-like %q can overflow past %s; bounds-check it first",
+			src.Name(), dst.Name(), types.ExprString(arg), limit))
 		return true
 	})
 	return out

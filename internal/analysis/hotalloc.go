@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The hotalloc check enforces the allocation-free steady-state contract
+// on the hot-path set (context.go): inside any function reachable from a
+// //parconn:hotpath root it flags every construct the compiler may turn
+// into a heap allocation — make and new, append (which may grow), slice
+// and map composite literals, address-of composite literals, go
+// statements, closures created at call sites, string conversions and
+// concatenation, and boxing of non-pointer-shaped values into
+// interfaces. The check is deliberately louder than the escape analyzer:
+// a flagged site either gets removed (arena or caller-provided storage)
+// or carries a //parconn:allow hotalloc annotation explaining why it is
+// off the steady-state path (setup, cold error path, explicit opt-in).
+type hotAllocAnalyzer struct{}
+
+func (hotAllocAnalyzer) Name() string { return "hotalloc" }
+
+func (hotAllocAnalyzer) Run(pass *Pass) []Finding {
+	var findings []Finding
+	flag := func(pos token.Pos, msg string) {
+		findings = append(findings, Finding{
+			Pos:     pass.Fset.Position(pos),
+			Check:   "hotalloc",
+			Message: msg,
+		})
+	}
+	eachFunc(pass, func(node funcNode, body *ast.BlockStmt) {
+		if !pass.Mod.Hot(node) {
+			return
+		}
+		where := " in hot-path function (" + pass.Mod.HotVia(node) + ")"
+		shallowInspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				switch name := builtinName(pass.Info, x); name {
+				case "make":
+					flag(x.Pos(), "make allocates"+where)
+				case "new":
+					flag(x.Pos(), "new allocates"+where)
+				case "append":
+					flag(x.Pos(), "append may grow and reallocate"+where)
+				default:
+					checkCallBoxing(pass, x, where, flag)
+					checkConversionAlloc(pass, x, where, flag)
+				}
+				// Closures handed to the parallel entry points are the
+				// scheduler's budgeted per-section cost — BenchmarkCCAllocs'
+				// steady state already accounts for them — so only captures
+				// escaping into ordinary calls are charged here.
+				if !isParallelEntry(pass.Info, x) {
+					for _, arg := range x.Args {
+						if lit, ok := unparen(arg).(*ast.FuncLit); ok && capturesLocals(pass.Info, lit) {
+							flag(lit.Pos(), "capturing closure allocates at call site"+where)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				switch pass.Info.TypeOf(x).Underlying().(type) {
+				case *types.Slice:
+					flag(x.Pos(), "slice literal allocates"+where)
+				case *types.Map:
+					flag(x.Pos(), "map literal allocates"+where)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if _, ok := unparen(x.X).(*ast.CompositeLit); ok {
+						flag(x.Pos(), "address of composite literal allocates"+where)
+					}
+				}
+			case *ast.GoStmt:
+				flag(x.Pos(), "go statement allocates a goroutine"+where)
+			case *ast.BinaryExpr:
+				if x.Op == token.ADD && isStringType(pass.Info.TypeOf(x)) {
+					flag(x.Pos(), "string concatenation allocates"+where)
+				}
+			}
+			return true
+		})
+	})
+	return findings
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// checkConversionAlloc flags string<->[]byte/[]rune conversions, which
+// copy their operand.
+func checkConversionAlloc(pass *Pass, call *ast.CallExpr, where string, flag func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type.Underlying()
+	src := pass.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	srcU := src.Underlying()
+	switch {
+	case isStringType(dst) && isByteOrRuneSlice(srcU):
+		flag(call.Pos(), "slice-to-string conversion allocates"+where)
+	case isByteOrRuneSlice(dst) && isStringType(srcU):
+		flag(call.Pos(), "string-to-slice conversion allocates"+where)
+	}
+}
+
+// checkCallBoxing flags arguments whose concrete, non-pointer-shaped
+// values are implicitly boxed into interface parameters (one finding per
+// call — fmt.Errorf("%d %d", a, b) is one allocation event to fix).
+func checkCallBoxing(pass *Pass, call *ast.CallExpr, where string, flag func(token.Pos, string)) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			param = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos:
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case sig.Variadic():
+			param = params.At(params.Len() - 1).Type() // f(xs...): no boxing
+		default:
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || isNilOrUntypedNil(pass.Info, arg) {
+			continue
+		}
+		// Constants boxed into interfaces (panic("..."), fmt.Errorf with
+		// constant operands) become static read-only data, not heap values.
+		if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if isPointerShaped(at) {
+			continue
+		}
+		flag(call.Pos(), "argument boxed into interface parameter allocates"+where)
+		return
+	}
+}
+
+// capturesLocals reports whether lit references a variable declared
+// outside its own body in some enclosing function — the condition under
+// which the closure needs a heap-allocated environment. References to
+// package-level variables do not capture.
+func capturesLocals(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package scope
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether values of t fit the data word of an
+// interface without allocating: pointers, channels, maps, funcs, and
+// unsafe pointers.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isNilOrUntypedNil(info *types.Info, arg ast.Expr) bool {
+	if id, ok := unparen(arg).(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNil := info.Uses[id].(*types.Nil); isNil {
+			return true
+		}
+	}
+	tv, ok := info.Types[arg]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// Report is the machine-readable result of one parconnvet run, written by
+// cmd/parconnvet -json and consumed by CI (uploaded as a workflow
+// artifact) and by the self-scan round-trip test. File paths are
+// module-root-relative so reports diff cleanly across machines.
+type Report struct {
+	Module     string          `json:"module"`
+	Packages   []string        `json:"packages"`
+	Active     []ReportFinding `json:"active"`
+	Suppressed []ReportFinding `json:"suppressed"`
+}
+
+// ReportFinding is one Finding with its position flattened for JSON.
+type ReportFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// NewReport assembles a report, relativizing every finding position
+// against the module root.
+func NewReport(root, module string, packages []string, active, suppressed []Finding) *Report {
+	conv := func(fs []Finding) []ReportFinding {
+		out := make([]ReportFinding, 0, len(fs))
+		for _, f := range fs {
+			file := f.Pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+			out = append(out, ReportFinding{
+				File:    file,
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Check:   f.Check,
+				Message: f.Message,
+			})
+		}
+		return out
+	}
+	return &Report{
+		Module:     module,
+		Packages:   packages,
+		Active:     conv(active),
+		Suppressed: conv(suppressed),
+	}
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport decodes a report written by Write.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -202,6 +202,7 @@ func LoadModule(root string) ([]*Pass, error) {
 		passes = append(passes, p)
 	}
 	sort.Slice(passes, func(i, j int) bool { return passes[i].Path < passes[j].Path })
+	buildModule(passes)
 	return passes, nil
 }
 
@@ -218,7 +219,12 @@ func LoadFixture(modRoot, dir string) (*Pass, error) {
 		return nil, err
 	}
 	ld := newLoader(modRoot, modPath)
-	return ld.loadDir(dir, "fixture/"+filepath.Base(dir), true)
+	p, err := ld.loadDir(dir, "fixture/"+filepath.Base(dir), true)
+	if err != nil {
+		return nil, err
+	}
+	buildModule([]*Pass{p})
+	return p, nil
 }
 
 // modulePath extracts the module path from a go.mod file.

@@ -37,14 +37,29 @@ func (noRand) Run(pass *Pass) []Finding {
 			}
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
+			// Resolving bare identifiers catches both reference forms: the
+			// Sel of a qualified selector (rand.Intn, time.Now) and names
+			// brought into scope by a dot-import, which no selector-based
+			// walk would see.
+			use, ok := n.(*ast.Ident)
 			if !ok {
 				return true
 			}
-			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
-			if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
-				out = append(out, pass.finding(sel.Pos(), "norand",
+			fn, ok := pass.Info.Uses[use].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch pkg := fn.Pkg().Path(); {
+			case pkg == "time" && fn.Name() == "Now":
+				out = append(out, pass.finding(use.Pos(), "norand",
 					"library package calls time.Now; inject seeds/clocks so runs stay reproducible"))
+			case (pkg == "math/rand" || pkg == "math/rand/v2") &&
+				fn.Type().(*types.Signature).Recv() == nil:
+				// Package-level functions draw from the covertly seeded
+				// global source; methods on an injected *rand.Rand are the
+				// caller's seed and stay legal.
+				out = append(out, pass.finding(use.Pos(), "norand",
+					"library package calls %s.%s; use internal/prand with an injected seed", pkg, fn.Name()))
 			}
 			return true
 		})

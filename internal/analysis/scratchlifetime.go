@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The scratchlifetime check guards the workspace.Arena ownership rules:
+// a scratch buffer acquired from the arena is owned until the matching
+// Put, and the RELABELUP schedule releases every per-level buffer on the
+// way back up the recursion. A buffer that escapes its acquiring
+// function — stored into a struct field that is never reassigned before
+// the function returns, written through a pointer the caller holds, or
+// returned — outlives the lexical scope the release schedule reasons
+// about, so every such site must either be restructured or carry a
+// //parconn:allow scratchlifetime annotation naming who releases it.
+//
+// The analysis is function-local: within each function it tracks, to a
+// fixpoint, the locals bound (directly or through aliasing and slicing)
+// to the result of an Arena acquire method, then flags field stores
+// without a later same-field reassignment (the clear-before-release
+// idiom resets fields to nil and is not flagged), stores through pointer
+// dereferences, and returns mentioning a tracked buffer. The workspace
+// package itself is exempt — it is the owner being guarded against.
+type scratchLifetimeAnalyzer struct{}
+
+func (scratchLifetimeAnalyzer) Name() string { return "scratchlifetime" }
+
+// workspacePkgSuffix identifies the arena package by import-path suffix
+// so fixtures loaded under a synthetic module path are covered too.
+const workspacePkgSuffix = "internal/workspace"
+
+// arenaAcquireMethods are the workspace.Arena methods whose results are
+// owned scratch buffers.
+var arenaAcquireMethods = map[string]bool{
+	"Int32":   true,
+	"Int64":   true,
+	"Uint64":  true,
+	"Float64": true,
+}
+
+func (scratchLifetimeAnalyzer) Run(pass *Pass) []Finding {
+	if strings.HasSuffix(pass.Pkg.Path(), workspacePkgSuffix) {
+		return nil
+	}
+	var findings []Finding
+	flag := func(pos token.Pos, msg string) {
+		findings = append(findings, Finding{
+			Pos:     pass.Fset.Position(pos),
+			Check:   "scratchlifetime",
+			Message: msg,
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkScratchEscapes(pass, fd.Body, flag)
+			return true
+		})
+	}
+	return findings
+}
+
+// isArenaAcquire reports whether e is a call to one of the Arena acquire
+// methods.
+func isArenaAcquire(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !arenaAcquireMethods[fn.Name()] {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), workspacePkgSuffix)
+}
+
+// checkScratchEscapes runs the function-local escape analysis over one
+// function body (nested literals included — the tracking scope is the
+// whole declaration, matching how closures share the outer locals).
+func checkScratchEscapes(pass *Pass, body *ast.BlockStmt, flag func(token.Pos, string)) {
+	info := pass.Info
+
+	// Fixpoint: a local is tracked if any assignment binds it to an
+	// acquire call or to an expression mentioning a tracked local.
+	tracked := make(map[*types.Var]bool)
+	mentionsTracked := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && tracked[v] {
+					found = true
+				}
+				if v, ok := info.Defs[id].(*types.Var); ok && tracked[v] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	bind := func(lhs ast.Expr, rhs ast.Expr) bool {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, ok := localOf(info, id)
+		if !ok || tracked[v] {
+			return false
+		}
+		// Only reference-carrying locals propagate ownership; an int
+		// computed from a buffer (len, a count) does not alias it.
+		if !mayCarryBuffer(v.Type()) {
+			return false
+		}
+		if isArenaAcquire(info, rhs) || mentionsTracked(rhs) {
+			tracked[v] = true
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						if bind(x.Lhs[i], x.Rhs[i]) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if i < len(x.Values) {
+						if bind(name, x.Values[i]) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	// No early exit on an empty tracked set: a buffer can escape without
+	// ever touching a local (h.buf = ws.Int32(n), return ws.Int32(n)),
+	// which the isArenaAcquire arms below catch directly.
+
+	// fieldStores records every assignment position per field object so a
+	// flagged store can be excused by a later reassignment (the
+	// clear-before-release idiom).
+	fieldStores := make(map[types.Object][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		x, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range x.Lhs {
+			if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					fieldStores[s.Obj()] = append(fieldStores[s.Obj()], lhs.Pos())
+				}
+			}
+		}
+		return true
+	})
+	reassignedAfter := func(obj types.Object, pos token.Pos) bool {
+		for _, p := range fieldStores[obj] {
+			if p > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if !mayCarryBuffer(info.TypeOf(x.Rhs[i])) {
+						continue
+					}
+					if !mentionsTracked(x.Rhs[i]) && !isArenaAcquire(info, x.Rhs[i]) {
+						continue
+					}
+					switch l := unparen(lhs).(type) {
+					case *ast.SelectorExpr:
+						if s, ok := info.Selections[l]; ok && s.Kind() == types.FieldVal {
+							if !reassignedAfter(s.Obj(), lhs.Pos()) {
+								flag(lhs.Pos(), "arena buffer stored into field "+s.Obj().Name()+
+									" escapes its acquiring function without a clearing reassignment")
+							}
+						}
+					case *ast.StarExpr:
+						flag(lhs.Pos(), "arena buffer stored through pointer dereference escapes its acquiring function")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if !mayCarryBuffer(info.TypeOf(res)) {
+					continue
+				}
+				if mentionsTracked(res) || isArenaAcquire(info, res) {
+					flag(x.Pos(), "arena buffer returned past its acquiring function outlives the release schedule")
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mayCarryBuffer reports whether a value of type t can hold or reach a
+// slice: slices themselves, and the composite/reference kinds that can
+// embed one. Scalars derived from a buffer (lengths, sums) cannot.
+func mayCarryBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Struct, *types.Pointer, *types.Interface,
+		*types.Map, *types.Array, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// localOf resolves an identifier to the local variable it declares or
+// uses; package-level variables and fields are not locals.
+func localOf(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	var obj types.Object
+	if d := info.Defs[id]; d != nil {
+		obj = d
+	} else {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil, false
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil, false // package scope
+	}
+	return v, true
+}

@@ -35,3 +35,18 @@ func constantConversion() int32 {
 func unsignedPacking(pair uint64) int32 {
 	return int32(pair >> 32) // ok: unsigned unpacking is id math, not a count
 }
+
+func unguardedMask(xs []uint64) uint32 {
+	return uint32(len(xs)) // want "reinterprets negative"
+}
+
+func unguardedCapMask(xs []uint64) uint32 {
+	return uint32(cap(xs)) // want "reinterprets negative"
+}
+
+func guardedMask(n int) (uint32, bool) {
+	if n < 0 || n > math.MaxUint32 {
+		return 0, false
+	}
+	return uint32(n), true // ok: bounds-checked above
+}

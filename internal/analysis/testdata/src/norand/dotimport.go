@@ -1,0 +1,11 @@
+package norand
+
+import (
+	. "math/rand/v2" // want "imports math/rand/v2"
+)
+
+// Dot-imported randomness resolves to the banned package functions even
+// though no selector appears at the call site.
+func drawDotImported() int64 {
+	return Int64() // want "math/rand/v2.Int64"
+}

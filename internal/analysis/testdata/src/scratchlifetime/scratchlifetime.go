@@ -1,0 +1,59 @@
+// Package scratchlifetime is a parconnvet test fixture: every line
+// carrying a `want` comment must be flagged by the scratchlifetime check,
+// every other line must stay clean.
+package scratchlifetime
+
+import "parconn/internal/workspace"
+
+type holder struct {
+	buf []int32
+}
+
+// fieldEscape parks an owned buffer in a field and returns; the release
+// schedule can no longer see it.
+func fieldEscape(h *holder, ws *workspace.Arena, n int) {
+	h.buf = ws.Int32(n) // want "stored into field buf"
+}
+
+// fieldCleared uses the clear-before-release idiom: the later nil
+// reassignment excuses the store.
+func fieldCleared(h *holder, ws *workspace.Arena, n int) {
+	h.buf = ws.Int32(n) // ok: cleared before return below
+	use(h.buf)
+	ws.PutInt32(h.buf)
+	h.buf = nil
+}
+
+// returned hands the buffer to the caller, outliving the acquiring scope.
+func returned(ws *workspace.Arena, n int) []int32 {
+	b := ws.Int32(n)
+	return b // want "returned past its acquiring function"
+}
+
+// aliasReturned returns a reslice of a tracked buffer; the fixpoint
+// follows the alias.
+func aliasReturned(ws *workspace.Arena, n int) []int32 {
+	b := ws.Int32(n)
+	half := b[:n/2]
+	return half // want "returned past its acquiring function"
+}
+
+// directReturn returns the acquire call without ever binding a local.
+func directReturn(ws *workspace.Arena, n int) []float64 {
+	return ws.Float64(n) // want "returned past its acquiring function"
+}
+
+// derefStore writes the buffer through a caller-held pointer.
+func derefStore(dst *[]int32, ws *workspace.Arena, n int) {
+	*dst = ws.Int32(n) // want "stored through pointer dereference"
+}
+
+// lengthOnly returns a scalar derived from the buffer, which aliases
+// nothing and is fine.
+func lengthOnly(ws *workspace.Arena, n int) int {
+	b := ws.Int32(n)
+	defer ws.PutInt32(b)
+	return len(b) // ok: scalars do not carry the buffer
+}
+
+func use(xs []int32) {}

@@ -389,11 +389,17 @@ func CC(g *graph.Graph, opt Options) ([]int32, error) {
 // labels in w's vertex space (values are canonical w-vertices). The labels
 // slice is arena-acquired; ownership passes to the caller (released after
 // the parent level's RELABELUP, or handed to the user at level 0).
+//
+// The directive below roots the hotalloc analysis: everything reachable
+// from here is the per-level steady state that must stay allocation-free.
+//
+//parconn:hotpath
 func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 	if level >= maxLevels {
 		return nil, fmt.Errorf("core: recursion exceeded %d levels; edge count is not decreasing", maxLevels)
 	}
 	if w.N == 0 {
+		//parconn:allow hotalloc empty-graph base case; a zero-length literal is the zerobase pointer, not a heap block
 		return []int32{}, nil
 	}
 	procs := m.procs
@@ -533,6 +539,8 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 // RELABELUP. Scratch internal to one step (offs, pairs, hash slots, sort
 // buffer, centers) is released before returning, so the recursion below
 // immediately reuses it.
+//
+//parconn:allow scratchlifetime ownership transfers by contract: the machine fields are aliases ccLevel clears after RELABELUP, and sub plus the returned buffers are released by the caller's level epilogue
 func (m *ccMachine) contract(w *decomp.WGraph, sub *decomp.WGraph, labels []int32) (rep, present, compact, newID []int32, edgesOut int64) {
 	procs, ws, pool := m.procs, m.ws, m.pool
 	n := w.N
@@ -584,6 +592,7 @@ func (m *ccMachine) contract(w *decomp.WGraph, sub *decomp.WGraph, labels []int3
 		intsort.SortUint64In(procs, pairs, int(2*kbits), scratch)
 		// scratch doubles as the compaction target (the sort is done with
 		// it); the duplicate-heavy original goes back to the arena.
+		//parconn:allow hotalloc one dedup-predicate closure per sort-path section, inside the steady-state budget
 		nuniq := parallel.PackInto(procs, scratch, pairs, func(i int) bool {
 			return i == 0 || pairs[i] != pairs[i-1]
 		})

@@ -37,6 +37,7 @@ type arbMachine struct {
 	fnPre, fnMain func(lo, hi int)
 }
 
+//parconn:allow hotalloc machine is constructed once per Scratch and recycled across levels and runs
 func newArbMachine() *arbMachine {
 	m := &arbMachine{retries: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
@@ -47,9 +48,10 @@ func newArbMachine() *arbMachine {
 		cursor := &m.cursor
 		for i := lo; i < hi; i++ {
 			v := perm[base+i]
-			//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
+			// perm is a permutation, so only this iteration touches c[v];
+			// CAS rounds are barrier-separated from this plain-write pass.
 			if c[v] == unvisited {
-				c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
+				c[v] = v
 				if parents != nil {
 					parents[v] = v
 				}
@@ -104,6 +106,7 @@ func newArbMachine() *arbMachine {
 func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	n, procs := g.N, opt.Procs
 	if n == 0 {
+		//parconn:allow hotalloc empty-graph base case; a zero-length literal is the zerobase pointer, not a heap block
 		return Result{Labels: []int32{}}
 	}
 	t0 := now()
@@ -119,6 +122,7 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	if opt.WantParents {
 		// Parents are a rarely-requested result handed to the caller;
 		// plain allocation keeps their ownership out of the arena.
+		//parconn:allow hotalloc rarely-requested caller-owned result, deliberately outside the arena
 		parents = make([]int32, n)
 		parallel.Fill(procs, parents, unvisited)
 	}
@@ -203,5 +207,6 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(bufs[0])
 	ws.PutInt32(bufs[1])
 	m.g, m.c, m.parents, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
+	//parconn:allow scratchlifetime Labels ownership transfers to the caller, who releases it after RELABELUP (see the comment above)
 	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, Parents: parents, CASRetries: m.retries.Sum()}
 }

@@ -147,6 +147,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+//parconn:allow hotalloc cold rejection path; formats an error at most once per Decompose call
 func (o Options) validate() error {
 	// The negated comparisons are NaN-proof: NaN fails every ordered
 	// comparison, so "x <= 0 || x >= 1" would wave NaN through into the
@@ -228,6 +229,7 @@ func Decompose(g *WGraph, variant Variant, opt Options) (Result, error) {
 	}
 	sc := opt.Scratch
 	if sc == nil {
+		//parconn:allow hotalloc fallback scratch for one-shot callers; level loops pass a reusable Scratch
 		sc = &Scratch{}
 	}
 	switch variant {
@@ -238,6 +240,7 @@ func Decompose(g *WGraph, variant Variant, opt Options) (Result, error) {
 	case ArbHybrid:
 		return sc.hybridM().run(g, opt), nil
 	default:
+		//parconn:allow hotalloc cold error path for an unknown variant
 		return Result{}, fmt.Errorf("decomp: unknown variant %d", int(variant))
 	}
 }
@@ -310,6 +313,7 @@ func newShifts(n int, beta float64, seed uint64, procs int, ws *workspace.Arena)
 	ws.PutFloat64(deltas)
 	ws.PutInt32(counts)
 	ws.PutInt32(start)
+	//parconn:allow scratchlifetime order and cum transfer to the round loop and are released via shifts.release
 	return shifts{order: order, cum: cum}
 }
 

@@ -34,6 +34,7 @@ func processEdgesParallel(g *WGraph, c, parents []int32, v, cv int32, nxt []int3
 			}
 		}
 	})
+	//parconn:allow hotalloc pack predicate closure is the documented per-call cost of the optional edge-parallel path
 	kept := parallel.Pack(procs, seg, func(i int) bool { return seg[i] >= 0 })
 	parallel.Copy(procs, seg[:len(kept)], kept)
 	//parconn:allow conversioncheck kept is a subset of seg, whose length came from the int32 g.Deg[v]

@@ -37,6 +37,7 @@ type hybridMachine struct {
 	fnPre, fnDense, fnDenseFront, fnSparse, fnFilter func(lo, hi int)
 }
 
+//parconn:allow hotalloc machine is constructed once per Scratch and recycled across levels and runs
 func newHybridMachine() *hybridMachine {
 	m := &hybridMachine{retries: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
@@ -47,9 +48,10 @@ func newHybridMachine() *hybridMachine {
 		cursor := &m.cursor
 		for i := lo; i < hi; i++ {
 			v := perm[base+i]
-			//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS rounds are barrier-separated
+			// perm is a permutation, so only this iteration touches c[v];
+			// CAS rounds are barrier-separated from this plain-write pass.
 			if c[v] == unvisited {
-				c[v] = v //parconn:allow mixedatomic same: v is uniquely owned by this iteration
+				c[v] = v
 				frontRound[v] = r32
 				front[cursor.Add(1)-1] = v
 			}
@@ -63,7 +65,8 @@ func newHybridMachine() *hybridMachine {
 		r32 := m.r32
 		cursor := &m.cursor
 		for w := lo; w < hi; w++ {
-			//parconn:allow mixedatomic dense pass is read/owner-write only (paper §4); CAS rounds are barrier-separated
+			// The dense pass is read/owner-write only (paper §4); CAS
+			// rounds are barrier-separated from it.
 			if c[w] != unvisited {
 				continue
 			}
@@ -72,7 +75,8 @@ func newHybridMachine() *hybridMachine {
 			for i := int64(0); i < d; i++ {
 				u := g.Adj[start+i]
 				if frontRound[u] == r32 {
-					//parconn:allow mixedatomic only w's own iteration writes c[w]; c[u] was fixed before this round's fork barrier
+					// Only w's own iteration writes c[w]; c[u] was fixed
+					// before this round's fork barrier.
 					c[w] = c[u]
 					nxt[cursor.Add(1)-1] = int32(w)
 					break
@@ -131,14 +135,15 @@ func newHybridMachine() *hybridMachine {
 		for v := lo; v < hi; v++ {
 			start := g.Offs[v]
 			d := int64(g.Deg[v])
-			cv := c[v] //parconn:allow mixedatomic filterEdges runs after the last BFS join barrier; c is read-only here
+			// filterEdges runs after the last BFS join barrier; c is
+			// read-only here.
+			cv := c[v]
 			var k int64
 			for i := int64(0); i < d; i++ {
 				e := g.Adj[start+i]
 				if e < 0 {
 					g.Adj[start+k] = -e - 1
 					k++
-					//parconn:allow mixedatomic same: post-barrier read-only phase
 				} else if cw := c[e]; cw != cv {
 					g.Adj[start+k] = cw
 					k++
@@ -153,6 +158,7 @@ func newHybridMachine() *hybridMachine {
 func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	n, procs := g.N, opt.Procs
 	if n == 0 {
+		//parconn:allow hotalloc empty-graph base case; a zero-length literal is the zerobase pointer, not a heap block
 		return Result{Labels: []int32{}}
 	}
 	t0 := now()
@@ -270,5 +276,6 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(bufs[1])
 	ws.PutInt32(frontRound)
 	m.g, m.c, m.frontRound, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
+	//parconn:allow scratchlifetime Labels ownership transfers to the caller, who releases it after RELABELUP (see the comment above)
 	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, CASRetries: m.retries.Sum()}
 }

@@ -75,6 +75,7 @@ type minMachine struct {
 	fnLabels        func(lo, hi int)
 }
 
+//parconn:allow hotalloc machine is constructed once per Scratch and recycled across levels and runs
 func newMinMachine() *minMachine {
 	m := &minMachine{retries: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
@@ -85,9 +86,10 @@ func newMinMachine() *minMachine {
 		cursor := &m.cursor
 		for i := lo; i < hi; i++ {
 			v := perm[base+i]
-			//parconn:allow mixedatomic perm is a permutation, so only this iteration touches c[v]; CAS phases are barrier-separated
+			// perm is a permutation, so only this iteration touches c[v];
+			// CAS phases are barrier-separated from this plain-write pass.
 			if pairC1(c[v]) != -1 {
-				c[v] = packPair(-1, v) //parconn:allow mixedatomic same: v is uniquely owned by this iteration
+				c[v] = packPair(-1, v)
 				front[cursor.Add(1)-1] = v
 			}
 		}
@@ -191,7 +193,8 @@ func newMinMachine() *minMachine {
 	// Extract the component ids out of the packed pairs.
 	m.fnLabels = func(lo, hi int) {
 		c, labels := m.c, m.labels
-		//parconn:allow mixedatomic read-only extraction after the last phase's join barrier; no writer is live
+		// Read-only extraction after the last phase's join barrier; no
+		// writer is live.
 		for v := lo; v < hi; v++ {
 			labels[v] = pairC2(c[v])
 		}
@@ -202,6 +205,7 @@ func newMinMachine() *minMachine {
 func (m *minMachine) run(g *WGraph, opt Options) Result {
 	n, procs := g.N, opt.Procs
 	if n == 0 {
+		//parconn:allow hotalloc empty-graph base case; a zero-length literal is the zerobase pointer, not a heap block
 		return Result{Labels: []int32{}}
 	}
 	t0 := now()
@@ -315,5 +319,6 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(deltaFrac)
 	ws.PutInt64(c)
 	m.g, m.c, m.deltaFrac, m.perm, m.front, m.cur, m.nxt, m.labels = nil, nil, nil, nil, nil, nil, nil, nil
+	//parconn:allow scratchlifetime Labels ownership transfers to the caller, who releases it after RELABELUP (see the comment above)
 	return Result{Labels: labels, NumCenters: numCenters, Rounds: workRounds, CASRetries: m.retries.Sum()}
 }

@@ -62,6 +62,7 @@ func PhasesRecorder(p *PhaseTimes) obs.Recorder {
 	if p == nil {
 		return nil
 	}
+	//parconn:allow hotalloc sink is built once per Decompose call, and only when phase recording is requested
 	return &phasesSink{p: p}
 }
 
@@ -86,5 +87,6 @@ func RoundsRecorder(rs *[]RoundStat) obs.Recorder {
 	if rs == nil {
 		return nil
 	}
+	//parconn:allow hotalloc sink is built once per Decompose call, and only when round recording is requested
 	return &roundsSink{rs: rs}
 }

@@ -60,5 +60,6 @@ func (w *WGraph) LiveEdges(procs int) int64 {
 		}
 		return total
 	}
+	//parconn:allow hotalloc one reduction closure per measured LiveEdges call; the serial path above covers the per-level hot callers
 	return parallel.MapReduce(procs, w.N, func(v int) int64 { return int64(w.Deg[v]) })
 }

@@ -119,6 +119,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		}
 		for i := 0; i < k; i++ {
 			e := binary.LittleEndian.Uint32(buf[4*i:])
+			//parconn:allow conversioncheck n was bounds-checked against 2^31-2 at the header read above
 			if e >= uint32(n) {
 				return nil, fmt.Errorf("graph: edge target %d out of range", e)
 			}

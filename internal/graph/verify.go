@@ -38,6 +38,7 @@ func VerifyLabeling(g *Graph, labels []int32) error {
 		for v := lo; v < hi; v++ {
 			for _, w := range g.Neighbors(int32(v)) {
 				if labels[v] != labels[w] {
+					//parconn:allow blockingcall first-error capture; contended only when verification is already failing
 					mu.Lock()
 					if bad == nil {
 						//parconn:allow sharedwrite bad is written under mu; first error wins

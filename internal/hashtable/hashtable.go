@@ -145,5 +145,6 @@ func (s *Set) Elements(procs int) []uint64 {
 // Insert.
 func (s *Set) ElementsInto(procs int, dst []uint64) int {
 	//parconn:allow mixedatomic ElementsInto must not overlap Insert (phase-concurrency contract above)
+	//parconn:allow hotalloc one pack-predicate closure per compaction, inside the steady-state budget
 	return parallel.PackInto(procs, dst, s.slots, func(i int) bool { return s.slots[i] != Empty })
 }

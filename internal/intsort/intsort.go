@@ -60,6 +60,7 @@ func SortUint64In(procs int, a []uint64, bits int, scratch []uint64) {
 	}
 	buf := scratch
 	if len(buf) < n {
+		//parconn:allow hotalloc fallback when the caller's scratch is short; contract always passes full-length arena scratch
 		buf = make([]uint64, n)
 	} else {
 		buf = buf[:n]
@@ -76,6 +77,7 @@ func SortUint64In(procs int, a []uint64, bits int, scratch []uint64) {
 	// the whole array yields, for every (digit, block), the first output
 	// position for that block's elements with that digit — the standard
 	// parallel stable counting-sort offset computation.
+	//parconn:allow hotalloc digit-count matrix is the sort's per-call cost, sized by procs and radix rather than input length
 	counts := make([]int64, radix*nblocks)
 	for pass := 0; pass < passes; pass++ {
 		shift := uint(pass * digitBits)
@@ -110,6 +112,8 @@ func SortUint64In(procs int, a []uint64, bits int, scratch []uint64) {
 
 // sortSerial is the sequential LSD radix sort used for small inputs and the
 // procs==1 path.
+//
+//parconn:allow hotalloc serial convenience path allocates its ping-pong buffer; hot callers use SortUint64In with arena scratch
 func sortSerial(a []uint64, passes int) {
 	sortSerialIn(a, make([]uint64, len(a)), passes)
 }

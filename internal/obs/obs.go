@@ -163,6 +163,8 @@ func (Nop) Counter(Counter)       {}
 // returns nil when all are nil and the single recorder when only one is
 // non-nil, preserving the nil fast path and avoiding indirection for the
 // common single-sink case.
+//
+//parconn:allow hotalloc recorder fan-out is built once per run setup, and only when observability is enabled
 func Multi(recs ...Recorder) Recorder {
 	live := make(multi, 0, len(recs))
 	for _, r := range recs {

@@ -25,6 +25,8 @@ type ShardedInt64 struct {
 
 // NewShardedInt64 returns an accumulator with at least n shards, rounded up
 // to a power of two (minimum 1) so shard selection is a mask.
+//
+//parconn:allow hotalloc sharded counters are allocated at machine construction and recycled with the machine
 func NewShardedInt64(n int) *ShardedInt64 {
 	size := 1
 	for size < n {

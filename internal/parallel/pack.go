@@ -3,6 +3,8 @@ package parallel
 // Pack returns the elements xs[i] for which keep(i) is true, preserving
 // order. It is the work-efficient "pack" (filter) primitive: a flag pass, an
 // exclusive scan over block counts, and a scatter pass.
+//
+//parconn:allow hotalloc the result slice and per-block counts are the pack primitive's documented per-call cost, budgeted per section
 func Pack[T any](procs int, xs []T, keep func(i int) bool) []T {
 	n := len(xs)
 	procs = Procs(procs)
@@ -49,6 +51,8 @@ func Pack[T any](procs int, xs []T, keep func(i int) bool) []T {
 // (which must have capacity for every kept element) and returns the number
 // of elements written. dst must not alias xs. It allocates nothing beyond
 // the small per-block count array on the parallel path.
+//
+//parconn:allow hotalloc the small per-block count array is the documented parallel-path cost (see the doc comment)
 func PackInto[T any](procs int, dst, xs []T, keep func(i int) bool) int {
 	n := len(xs)
 	procs = Procs(procs)

@@ -61,6 +61,7 @@ func (p *Pool) Blocks(procs, n, grain int, fn func(lo, hi int)) {
 	if procs > nblocks {
 		procs = nblocks
 	}
+	//parconn:allow hotalloc per-section task descriptor; part of the scheduler's budgeted steady-state allocations
 	p.exec(&task{fnBlock: fn, n: n, grain: grain, nblocks: nblocks}, procs)
 }
 
@@ -100,6 +101,7 @@ func (p *Pool) ForGrain(procs, n, grain int, fn func(i int)) {
 	if procs > nblocks {
 		procs = nblocks
 	}
+	//parconn:allow hotalloc per-section task descriptor; part of the scheduler's budgeted steady-state allocations
 	p.exec(&task{fnIdx: fn, n: n, grain: grain, nblocks: nblocks}, procs)
 }
 
@@ -128,6 +130,7 @@ func (p *Pool) WorkerBlocks(procs, n int, fn func(worker, lo, hi int)) int {
 		fn(0, 0, n)
 		return 1
 	}
+	//parconn:allow hotalloc per-section task descriptor; part of the scheduler's budgeted steady-state allocations
 	p.exec(&task{fnWorker: fn, n: n, nblocks: used}, used)
 	return used
 }
@@ -233,6 +236,7 @@ func MapReduce[T Number](procs, n int, f func(i int) T) T {
 		}
 		return total
 	}
+	//parconn:allow hotalloc per-call partial-sum array sized by procs; budgeted reduction scratch
 	partial := make([]T, procs)
 	used := WorkerBlocks(procs, n, func(w, lo, hi int) {
 		var s T
@@ -263,6 +267,7 @@ func Max[T Number](procs int, xs []T) T {
 		}
 		return m
 	}
+	//parconn:allow hotalloc per-call partial-max array sized by procs; budgeted reduction scratch
 	partial := make([]T, procs)
 	// len(xs) >= DefaultGrain >= procs here, so every worker chunk is
 	// nonempty and partial[:used] is fully initialized.

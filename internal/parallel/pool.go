@@ -131,6 +131,8 @@ func (t *task) help() {
 // parked workers (procs <= 0 means GOMAXPROCS). It spawns procs-1 workers;
 // the goroutine invoking a section is always the procs-th participant.
 // Close releases the workers.
+//
+//parconn:allow hotalloc one-time pool construction; the workers it spawns persist and are reused by every section
 func NewPool(procs int) *Pool {
 	procs = Procs(procs)
 	p := &Pool{
@@ -178,6 +180,8 @@ func (p *Pool) Close() {
 // are woken from the pool first, any remainder beyond the pool's capacity
 // is served by transient goroutines (preserving explicit oversubscription),
 // and the caller claims blocks alongside them.
+//
+//parconn:allow hotalloc,blockingcall the per-section join channel, oversubscription helpers, and the final join receive are the scheduler's budgeted section cost; the join parks the submitting goroutine only after its own blocks are done
 func (p *Pool) exec(t *task, want int) {
 	t.done = make(chan struct{}, 1)
 	t.joins = &p.joins
@@ -213,6 +217,7 @@ var defaultPool struct {
 // is created on first use, sized to runtime.GOMAXPROCS(0), and never
 // closed.
 func Default() *Pool {
+	//parconn:allow blockingcall one-time lazy init; Do is an uncontended atomic load after the first call
 	defaultPool.once.Do(func() {
 		defaultPool.p = NewPool(runtime.GOMAXPROCS(0))
 	})

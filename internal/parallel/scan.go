@@ -37,6 +37,7 @@ func ExScanInto[T Number](procs int, dst, src []T) T {
 	blockOf := func(b int) (int, int) {
 		return n * b / nblocks, n * (b + 1) / nblocks
 	}
+	//parconn:allow hotalloc per-scan block-sum array sized by procs; budgeted scan scratch
 	sums := make([]T, nblocks)
 	For(procs, nblocks, func(b int) {
 		lo, hi := blockOf(b)

@@ -91,6 +91,7 @@ func NewLimit(limit int64) *Arena {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
+	//parconn:allow hotalloc arena construction is one-time setup
 	return &Arena{limit: limit}
 }
 
@@ -132,6 +133,7 @@ func acquire[T any](a *Arena, b *bank[T], elemSize int64, n int) []T {
 		capacity = n // request beyond the largest class
 	}
 	a.allocd.Add(int64(capacity) * elemSize)
+	//parconn:allow hotalloc the documented fallback make when no pooled buffer fits; warm arenas serve from the free lists
 	return make([]T, n, capacity)
 }
 
@@ -153,6 +155,7 @@ func release[T any](a *Arena, b *bank[T], elemSize int64, s []T) {
 		return
 	}
 	a.retained += size
+	//parconn:allow hotalloc free-list growth amortizes; the steady state reuses the list's capacity
 	b.free[d] = append(b.free[d], s[:0])
 	a.mu.Unlock()
 }
