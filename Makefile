@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-smoke trace-smoke trace-regression vet check fmt fmt-check repro repro-quick examples clean
+.PHONY: all build test race race-short bench bench-smoke speedup-smoke trace-smoke trace-regression vet check fmt fmt-check repro repro-quick examples clean
 
 all: check test build
 
@@ -27,6 +27,19 @@ bench:
 # compile or crash without paying for real measurements (the CI lane).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Parallel-efficiency smoke: sweep procs 1 vs 2 vs 4 at reduced scale and
+# gate decomp-arb-hybrid-CC with tracestat's efficiency floor. Efficiency
+# is speedup over min(procs, NumCPU), so the gate is meaningful on any CI
+# host: it trips when adding workers makes the run substantially slower
+# than serial (a parallel-efficiency regression), never on absolute speed.
+speedup-smoke:
+	$(GO) run ./cmd/bench -experiment speedup -procs 1,2,4 -scale 0.1 -json /tmp/parconn-speedup.json
+	$(GO) run ./cmd/tracestat speedup /tmp/parconn-speedup.json
+
+# Refresh the committed speedup curve (run on a quiet machine).
+BENCH_speedup.json:
+	$(GO) run ./cmd/bench -experiment speedup -procs 1,2,4 -json $@
 
 # Record an observability trace of one real run, then validate it against
 # the JSONL schema (run/level bracketing, monotone edge decay, known phases).

@@ -9,10 +9,11 @@
 //	bench -experiment fig2 -threads 1,2,4 # explicit worker sweep
 //	bench -experiment ablation            # design-choice ablations
 //	bench -experiment json                # machine-readable BENCH_parconn.json
+//	bench -experiment speedup -procs 1,2,4   # efficiency sweep, BENCH_speedup.json
 //	bench -experiment table2 -trace t.jsonl  # also record an observability trace
 //
-// Experiments: table1, table2, fig2..fig8, ablation, json, all. See
-// EXPERIMENTS.md for the mapping to the paper and the recorded runs.
+// Experiments: table1, table2, fig2..fig8, ablation, json, speedup, all.
+// See EXPERIMENTS.md for the mapping to the paper and the recorded runs.
 package main
 
 import (
@@ -40,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		experiment = fs.String("experiment", "all", "experiment to run: table1,table2,fig2..fig8,ablation,all")
 		scale      = fs.Float64("scale", 1.0, "input size multiplier (1.0 = harness defaults, ~100x below paper sizes)")
 		trials     = fs.Int("trials", 3, "trials per measurement; median reported")
-		procs      = fs.Int("procs", 0, "max workers (0 = all cores)")
+		procs      = fs.String("procs", "0", "max workers (0 = all cores); a comma list like 1,2,4 sets the speedup sweep")
 		threads    = fs.String("threads", "", "comma-separated worker counts for fig2 (default 1,2,4,...,procs)")
 		seed       = fs.Uint64("seed", 42, "random seed")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
@@ -55,11 +56,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := bench.Config{
 		Scale:    *scale,
 		Trials:   *trials,
-		Procs:    *procs,
 		Seed:     *seed,
 		Out:      stdout,
 		CSVDir:   *csvDir,
 		JSONPath: *jsonPath,
+	}
+	// -procs is a single bound for most experiments; a comma list makes it
+	// the explicit sweep of the "speedup" experiment (and bounds the rest
+	// at the list's maximum).
+	for _, part := range strings.Split(*procs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || (v < 1 && strings.Contains(*procs, ",")) || v < 0 {
+			fmt.Fprintf(stderr, "bench: bad -procs entry %q\n", part)
+			return 2
+		}
+		if strings.Contains(*procs, ",") {
+			cfg.ProcsList = append(cfg.ProcsList, v)
+			if v > cfg.Procs {
+				cfg.Procs = v
+			}
+		} else {
+			cfg.Procs = v
+		}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSummary(args[1:], stdout, stderr)
 	case "diff":
 		return runDiff(args[1:], stdout, stderr)
+	case "speedup":
+		return runSpeedup(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "tracestat: unknown subcommand %q\n", args[0])
 		usage(stderr)
@@ -61,9 +63,11 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   tracestat summary TRACE.jsonl
   tracestat diff [-tol N] [-floor DUR] [-input NAME] BASE NEW.jsonl
+  tracestat speedup [-algorithm NAME] [-efficiency-floor F] BENCH_speedup.json
 
 BASE is either a JSONL trace or a BENCH_parconn.json benchmark report
-(detected by shape).
+(detected by shape). Speedup gates a cmd/bench -experiment speedup report:
+every point of the gated algorithm must reach the efficiency floor.
 `)
 }
 
@@ -211,13 +215,25 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if len(st.Phases) > 0 {
-		fmt.Fprintf(stdout, "\n%-16s %7s %12s %12s %12s %12s %12s\n",
-			"phase", "count", "total", "mean", "p50", "p90", "max")
+		// share is each phase's fraction of the summed phase time, so
+		// gap-hunting ("which phase do I attack next") needs no manual
+		// arithmetic over the ns columns.
+		var totalNS int64
+		for _, h := range st.Phases {
+			totalNS += h.Sum()
+		}
+		fmt.Fprintf(stdout, "\n%-16s %7s %12s %7s %12s %12s %12s %12s\n",
+			"phase", "count", "total", "share", "mean", "p50", "p90", "max")
 		for _, name := range st.sortedPhaseNames() {
 			s := st.Phases[name].Snapshot()
-			fmt.Fprintf(stdout, "%-16s %7d %12v %12v %12v %12v %12v\n",
+			share := "-"
+			if totalNS > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(s.Sum)/float64(totalNS))
+			}
+			fmt.Fprintf(stdout, "%-16s %7d %12v %7s %12v %12v %12v %12v\n",
 				name, s.Count,
 				roundDur(time.Duration(s.Sum)),
+				share,
 				roundDur(time.Duration(int64(s.Mean()))),
 				roundDur(time.Duration(s.Quantile(0.5))),
 				roundDur(time.Duration(s.Quantile(0.9))),
@@ -433,6 +449,85 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "tracestat: no regressions in %d compared metric(s) (tolerance %.2fx, floor %v)\n",
 		compared, *tol, *floor)
+	return 0
+}
+
+// speedupReport mirrors the subset of internal/bench's BENCH_speedup.json
+// schema this tool gates on (local for the same reason as benchBaseline).
+type speedupReport struct {
+	Env     parconn.Env `json:"env"`
+	Results []struct {
+		Input     string `json:"input"`
+		Algorithm string `json:"algorithm"`
+		Points    []struct {
+			Procs            int     `json:"procs"`
+			EffectiveWorkers int     `json:"effective_workers"`
+			NsPerOp          float64 `json:"ns_per_op"`
+			Speedup          float64 `json:"speedup"`
+			Efficiency       float64 `json:"efficiency"`
+		} `json:"points"`
+	} `json:"results"`
+}
+
+// runSpeedup gates a speedup-sweep report: the gated algorithm's efficiency
+// (speedup over effective workers, i.e. procs clamped to the recording
+// host's cores) must reach the floor at every swept procs setting. The
+// floor's job is to catch parallel-efficiency regressions — an engine
+// change that makes adding workers slow the run down — not to assert
+// absolute times, so it is robust to slow CI hosts; the default 0.5 trips
+// when extra workers cost a third of the serial time, well past scheduler
+// noise.
+func runSpeedup(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat speedup", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		alg   = fs.String("algorithm", "decomp-arb-hybrid-CC", "algorithm whose sweep is gated (others are reported only)")
+		floor = fs.Float64("efficiency-floor", 0.5, "minimum efficiency at every swept procs setting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		usage(stderr)
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	var rep speedupReport
+	if err := json.Unmarshal(data, &rep); err != nil || len(rep.Results) == 0 {
+		fmt.Fprintf(stderr, "tracestat: %s: not a speedup report\n", fs.Arg(0))
+		return 2
+	}
+	gated := 0
+	failures := 0
+	fmt.Fprintf(stdout, "%-10s %-22s %6s %8s %12s %9s %11s\n",
+		"input", "algorithm", "procs", "workers", "ns/op", "speedup", "efficiency")
+	for _, s := range rep.Results {
+		for _, p := range s.Points {
+			verdict := ""
+			if s.Algorithm == *alg {
+				gated++
+				if p.Efficiency < *floor {
+					failures++
+					verdict = fmt.Sprintf("  BELOW FLOOR %.2f", *floor)
+				}
+			}
+			fmt.Fprintf(stdout, "%-10s %-22s %6d %8d %12.0f %8.2fx %11.2f%s\n",
+				s.Input, s.Algorithm, p.Procs, p.EffectiveWorkers, p.NsPerOp, p.Speedup, p.Efficiency, verdict)
+		}
+	}
+	if gated == 0 {
+		fmt.Fprintf(stderr, "tracestat: no points for gated algorithm %q\n", *alg)
+		return 2
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "tracestat: %d point(s) of %s below efficiency floor %.2f\n", failures, *alg, *floor)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tracestat: %s holds efficiency >= %.2f at all %d swept setting(s)\n", *alg, *floor, gated)
 	return 0
 }
 

@@ -235,3 +235,74 @@ func TestUsageAndInputErrors(t *testing.T) {
 		t.Fatalf("empty baseline: exit=%d stderr=%s", code, errb)
 	}
 }
+
+// TestSummaryShareColumn checks the share-of-total column: with phases of
+// 100ms, 40ms, and 10ms the shares are 66.7%, 26.7%, and 6.7%.
+func TestSummaryShareColumn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	writeFixtureTrace(t, path, 40*time.Millisecond, parconn.CaptureEnv())
+	code, out, errb := runCapture(t, "summary", path)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	for _, want := range []string{"share", "66.7%", "26.7%", "6.7%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// writeSpeedupFixture writes a minimal BENCH_speedup.json with the given
+// efficiency at the widest procs setting of the gated algorithm.
+func writeSpeedupFixture(t *testing.T, path string, topEfficiency float64) {
+	t.Helper()
+	report := map[string]any{
+		"go_version": "go1.24.0",
+		"env":        parconn.CaptureEnv(),
+		"scale":      1.0,
+		"seed":       42,
+		"results": []map[string]any{{
+			"input":     "rMat",
+			"algorithm": "decomp-arb-hybrid-CC",
+			"points": []map[string]any{
+				{"procs": 1, "effective_workers": 1, "ns_per_op": 1e8, "speedup": 1.0, "efficiency": 1.0},
+				{"procs": 4, "effective_workers": 1, "ns_per_op": 1e8 / topEfficiency, "speedup": topEfficiency, "efficiency": topEfficiency},
+			},
+		}},
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupGatePasses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sp.json")
+	writeSpeedupFixture(t, path, 0.95)
+	code, out, errb := runCapture(t, "speedup", path)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s out=%s", code, errb, out)
+	}
+	if !strings.Contains(out, "holds efficiency") {
+		t.Errorf("missing pass line:\n%s", out)
+	}
+}
+
+func TestSpeedupGateTripsBelowFloor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sp.json")
+	writeSpeedupFixture(t, path, 0.3) // below the default 0.5 floor
+	code, out, _ := runCapture(t, "speedup", path)
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1 (efficiency 0.3 under floor 0.5):\n%s", code, out)
+	}
+	if !strings.Contains(out, "BELOW FLOOR") {
+		t.Errorf("missing BELOW FLOOR verdict:\n%s", out)
+	}
+	// An unknown gated algorithm is a usage error, not a pass.
+	if code, _, _ := runCapture(t, "speedup", "-algorithm", "no-such-alg", path); code != 2 {
+		t.Errorf("unknown algorithm: exit=%d, want 2", code)
+	}
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -102,6 +104,9 @@ func (ld *loader) loadDir(dir, path string, library bool) (*Pass, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildTagOK(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 
@@ -133,6 +138,37 @@ func (ld *loader) loadDir(dir, path string, library bool) (*Pass, error) {
 	}
 	ld.pkgs[path] = p
 	return p, nil
+}
+
+// buildTagOK reports whether a file's //go:build (or legacy // +build)
+// constraint is satisfied in the module's default build configuration:
+// the host GOOS/GOARCH and the gc toolchain, with every other tag — in
+// particular "race" — unset. Without this, file pairs selected by build
+// tags (parallel's race.go/norace.go) would both be handed to the type
+// checker and collide on their shared declarations.
+func buildTagOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Build constraints must precede the package clause; later comment
+		// groups cannot carry one.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// A malformed constraint is the compiler's error to report,
+				// not ours; keep the file so the type checker sees it.
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+		}
+	}
+	return true
 }
 
 // isLibrary reports whether a package is held to the library-only rules

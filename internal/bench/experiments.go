@@ -19,6 +19,10 @@ type Config struct {
 	// Threads lists the worker counts swept by Figure 2; empty means
 	// {1, 2, 4, ..., Procs}.
 	Threads []int
+	// ProcsList lists the worker counts swept by the "speedup" experiment
+	// (a comma list passed to cmd/bench -procs); empty means the Threads
+	// default. The first entry should be 1 so speedups read "vs serial".
+	ProcsList []int
 	// Seed drives all randomized algorithms.
 	Seed uint64
 	// Out receives the rendered tables.
@@ -381,6 +385,13 @@ func Run(name string, cfg Config) error {
 			path = "BENCH_parconn.json"
 		}
 		return WriteJSON(cfg, path)
+	}
+	if name == "speedup" {
+		path := cfg.JSONPath
+		if path == "" {
+			path = "BENCH_speedup.json"
+		}
+		return WriteSpeedup(cfg, cfg.ProcsList, path)
 	}
 	if name == "all" {
 		for _, e := range Experiments {

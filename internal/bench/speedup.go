@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"parconn"
+)
+
+// SpeedupPoint is one procs setting of a speedup sweep. Speedup is relative
+// to the procs=1 point of the same series; Efficiency divides that by the
+// workers the run can actually use — min(procs, NumCPU), mirroring the
+// tuner's Workers cap — so the number stays meaningful on hosts with fewer
+// cores than the sweep's widest setting.
+type SpeedupPoint struct {
+	Procs            int     `json:"procs"`
+	EffectiveWorkers int     `json:"effective_workers"`
+	Iterations       int     `json:"iterations"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	Efficiency       float64 `json:"efficiency"`
+}
+
+// SpeedupSeries is the sweep of one (input, algorithm) pair.
+type SpeedupSeries struct {
+	Input     string         `json:"input"`
+	Algorithm string         `json:"algorithm"`
+	Points    []SpeedupPoint `json:"points"`
+}
+
+// SpeedupReport is the schema of BENCH_speedup.json: parallel efficiency as
+// a committed, regression-gated number (cmd/tracestat's speedup subcommand
+// is the gate's read side).
+type SpeedupReport struct {
+	GoVersion string          `json:"go_version"`
+	Env       parconn.Env     `json:"env"`
+	Scale     float64         `json:"scale"`
+	Seed      uint64          `json:"seed"`
+	Results   []SpeedupSeries `json:"results"`
+}
+
+// speedupAlgorithms is the sweep's algorithm set: the three decomposition
+// variants plus both spanning-forest baselines the paper compares against
+// (serial-SF sweeps flat by construction — it is the reference line).
+var speedupAlgorithms = []parconn.Algorithm{
+	parconn.DecompArbHybrid,
+	parconn.DecompArb,
+	parconn.DecompMin,
+	parconn.SerialSF,
+	parconn.ParallelSFPBBS,
+}
+
+// speedupInput pins the sweep to the skewed rMat family, the input the
+// headline ns/op target is stated on.
+const speedupInput = "rMat"
+
+// SpeedupSweep measures every algorithm in the sweep set at each procs
+// setting and derives speedup/efficiency against the first setting, which
+// must therefore be 1 for the numbers to mean "vs serial".
+func SpeedupSweep(cfg Config, procsList []int) (SpeedupReport, error) {
+	cfg = cfg.withDefaults()
+	if len(procsList) == 0 {
+		for p := 1; p < cfg.Procs; p *= 2 {
+			procsList = append(procsList, p)
+		}
+		procsList = append(procsList, cfg.Procs)
+	}
+	rep := SpeedupReport{
+		GoVersion: runtime.Version(),
+		Env:       parconn.CaptureEnv(),
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+	}
+	in, err := InputByName(speedupInput)
+	if err != nil {
+		return rep, err
+	}
+	g := in.Make(cfg.Scale)
+	ncpu := runtime.NumCPU()
+	for _, alg := range speedupAlgorithms {
+		series := SpeedupSeries{Input: speedupInput, Algorithm: alg.String()}
+		var base float64
+		for _, p := range procsList {
+			r := benchOne(g, alg, p, cfg.Seed)
+			pt := SpeedupPoint{
+				Procs:            p,
+				EffectiveWorkers: min(p, ncpu),
+				Iterations:       r.N,
+				NsPerOp:          float64(r.NsPerOp()),
+			}
+			if base == 0 {
+				base = pt.NsPerOp
+			}
+			if pt.NsPerOp > 0 {
+				pt.Speedup = base / pt.NsPerOp
+				pt.Efficiency = pt.Speedup / float64(pt.EffectiveWorkers)
+			}
+			series.Points = append(series.Points, pt)
+		}
+		rep.Results = append(rep.Results, series)
+	}
+	return rep, nil
+}
+
+// WriteSpeedup runs the sweep and writes the report to path, echoing one
+// summary line per point to cfg.Out.
+func WriteSpeedup(cfg Config, procsList []int, path string) error {
+	cfg = cfg.withDefaults()
+	rep, err := SpeedupSweep(cfg, procsList)
+	if err != nil {
+		return err
+	}
+	for _, s := range rep.Results {
+		for _, p := range s.Points {
+			fmt.Fprintf(cfg.Out, "%-10s %-22s procs=%-3d %12.0f ns/op  speedup %.2fx  efficiency %.2f\n",
+				s.Input, s.Algorithm, p.Procs, p.NsPerOp, p.Speedup, p.Efficiency)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	fmt.Fprintf(cfg.Out, "wrote %s (%d series)\n", path, len(rep.Results))
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
@@ -83,7 +84,9 @@ type Options struct {
 	DenseFrac float64
 	// EdgeParallel, when positive, processes edge lists of frontier
 	// vertices with at least this degree using nested parallelism (§4's
-	// optional high-degree optimization; Arb variant). Zero disables it.
+	// optional high-degree optimization; Arb variant). Zero picks an
+	// adaptive cutoff per level from the live edge count (DESIGN.md §12);
+	// set it negative to disable nested parallelism entirely.
 	EdgeParallel int
 	// Dedup selects duplicate-edge removal during contraction.
 	Dedup DedupMode
@@ -139,6 +142,11 @@ type ccMachine struct {
 	procs   int
 	opt     Options
 	scratch decomp.Scratch
+	// tuner is the run's adaptive scheduler (DESIGN.md §12); it is threaded
+	// into every decomposition via Options.Tuner so the contract loops and
+	// the BFS rounds share one cost EWMA, which persists across pooled CC
+	// calls (machinePool) like the closures do.
+	tuner parallel.Tuner
 
 	// levels[k] is level k's working graph (level 0 copies the input, its
 	// Offs shared with the caller's graph; deeper levels are arena-backed).
@@ -173,6 +181,7 @@ type ccMachine struct {
 	decompErr                            error
 	ctRep, ctPresent, ctCompact, ctNewID []int32
 	ctEdgesOut                           int64
+	ctTiny                               bool
 	fnDecompose, fnContract              func(context.Context)
 }
 
@@ -301,8 +310,13 @@ func newCCMachine() *ccMachine {
 		m.decompRes, m.decompErr = decomp.Decompose(m.stepW, m.opt.Variant, m.dopt)
 	}
 	m.fnContract = func(context.Context) {
-		m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID, m.ctEdgesOut =
-			m.contract(m.stepW, m.stepSub, m.stepLabels)
+		if m.ctTiny {
+			m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID, m.ctEdgesOut =
+				m.contractSerial(m.stepW, m.stepSub, m.stepLabels)
+		} else {
+			m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID, m.ctEdgesOut =
+				m.contract(m.stepW, m.stepSub, m.stepLabels)
+		}
 	}
 	return m
 }
@@ -319,6 +333,7 @@ func (m *ccMachine) reset() {
 	m.stepW, m.stepSub, m.stepLabels = nil, nil, nil
 	m.decompRes, m.decompErr = decomp.Result{}, nil
 	m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID = nil, nil, nil, nil
+	m.ctTiny = false
 }
 
 // CC computes a connected-components labeling of g. The returned labeling
@@ -348,7 +363,9 @@ func CC(g *graph.Graph, opt Options) ([]int32, error) {
 	tSetup := now()
 	m := machinePool.Get().(*ccMachine)
 	m.opt = opt
-	m.procs = opt.Procs
+	// Procs is a bound; the tuner narrows it to the physical CPU count
+	// (oversubscribed workers only add preemption; DESIGN.md §12).
+	m.procs = m.tuner.Workers(opt.Procs)
 	m.pool = opt.Pool
 	if m.pool == nil {
 		m.pool = parallel.Default()
@@ -364,11 +381,11 @@ func CC(g *graph.Graph, opt Options) ([]int32, error) {
 		reused0, alloc0 = m.ws.Stats()
 	}
 	w := &m.levels[0]
-	w.InitFrom(m.ws, g, opt.Procs)
+	w.InitFrom(m.ws, g, m.procs)
 	if rec != nil {
 		rec.Phase(obs.Phase{Level: 0, Name: obs.PhaseSetup, Duration: time.Since(tSetup)})
 	}
-	labels, err := m.ccLevel(w, 0)
+	labels, err := m.ccLevel(w, 0, int64(len(w.Adj)))
 	if rec != nil {
 		reused1, alloc1 := m.ws.Stats()
 		rec.Counter(obs.Counter{Name: obs.CounterArenaReused, Value: reused1 - reused0})
@@ -385,16 +402,19 @@ func CC(g *graph.Graph, opt Options) ([]int32, error) {
 	return labels, err
 }
 
-// ccLevel runs one level of Algorithm 1 on the working graph w and returns
-// labels in w's vertex space (values are canonical w-vertices). The labels
-// slice is arena-acquired; ownership passes to the caller (released after
-// the parent level's RELABELUP, or handed to the user at level 0).
+// ccLevel runs one level of Algorithm 1 on the working graph w — which
+// enters with edges live directed edges (level 0 passes the input size,
+// deeper levels the parent contraction's exact output count, so no
+// per-level edge reduction is ever needed) — and returns labels in w's
+// vertex space (values are canonical w-vertices). The labels slice is
+// arena-acquired; ownership passes to the caller (released after the
+// parent level's RELABELUP, or handed to the user at level 0).
 //
 // The directive below roots the hotalloc analysis: everything reachable
 // from here is the per-level steady state that must stay allocation-free.
 //
 //parconn:hotpath
-func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
+func (m *ccMachine) ccLevel(w *decomp.WGraph, level int, edges int64) ([]int32, error) {
 	if level >= maxLevels {
 		return nil, fmt.Errorf("core: recursion exceeded %d levels; edge count is not decreasing", maxLevels)
 	}
@@ -404,12 +424,19 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 	}
 	procs := m.procs
 	rec := m.opt.Recorder
+	// Tiny-level fast path (DESIGN.md §12): below the tuner's threshold the
+	// whole level — decomposition rounds and contraction — runs with one
+	// worker; the late levels are a long tail of sub-millisecond graphs
+	// whose parallel sections would be pure fork/join overhead.
+	tiny := m.tuner.SerialLevel(w.N, edges)
+	if tiny {
+		procs = 1
+	}
 
 	// Step 1: decompose. Each level derives an independent seed so repeated
 	// decompositions do not reuse the same permutation. With a recorder
-	// attached the level opens with its entering sizes (LiveEdges is a
-	// parallel reduction, skipped entirely when observability is off) and
-	// the decomposition runs under pprof labels.
+	// attached the level opens with its entering sizes and the
+	// decomposition runs under pprof labels.
 	dopt := decomp.Options{
 		Beta:         m.opt.Beta,
 		Seed:         m.opt.Seed + uint64(level)*0x9e3779b97f4a7c15,
@@ -421,18 +448,14 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 		Pool:         m.pool,
 		Workspace:    m.ws,
 		Scratch:      &m.scratch,
+		Tuner:        &m.tuner,
 	}
-	var edgesIn int64
-	var dMeasure time.Duration
 	var res decomp.Result
 	var err error
 	if rec == nil {
 		res, err = decomp.Decompose(w, m.opt.Variant, dopt)
 	} else {
-		tM := now()
-		edgesIn = w.LiveEdges(procs)
-		dMeasure = time.Since(tM)
-		rec.LevelStart(obs.LevelStart{Level: level, Vertices: w.N, EdgesIn: edgesIn})
+		rec.LevelStart(obs.LevelStart{Level: level, Vertices: w.N, EdgesIn: edges})
 		m.stepW, m.dopt = w, dopt
 		pprof.Do(context.Background(),
 			pprof.Labels("parconn_level", levelLabels[level], "parconn_phase", "decompose"),
@@ -445,18 +468,15 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 	}
 	labels := res.Labels // labels[v] = center id owning v
 
-	tM := now()
-	cut := w.LiveEdges(procs)
-	if rec != nil {
-		// The per-level edge reductions are pure observability overhead;
-		// charging them to their own phase keeps the phase-duration sum an
-		// honest account of the wall time.
-		rec.Phase(obs.Phase{Level: level, Name: obs.PhaseMeasure, Duration: dMeasure + time.Since(tM)})
-	}
+	// The machines accumulate the surviving inter-component edge count in
+	// their final classification passes, so the base-case test costs
+	// nothing (the paper's |E'| = 0 check; LiveEdges would be an extra
+	// O(n) reduction here).
+	cut := res.EdgesOut
 	end := obs.LevelEnd{
 		Level:      level,
 		Vertices:   w.N,
-		EdgesIn:    edgesIn,
+		EdgesIn:    edges,
 		EdgesCut:   cut,
 		Components: res.NumCenters,
 		Rounds:     res.Rounds,
@@ -478,8 +498,13 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 	var rep, present, compact, newID []int32
 	var edgesOut int64
 	if rec == nil {
-		rep, present, compact, newID, edgesOut = m.contract(w, sub, labels)
+		if tiny {
+			rep, present, compact, newID, edgesOut = m.contractSerial(w, sub, labels)
+		} else {
+			rep, present, compact, newID, edgesOut = m.contract(w, sub, labels)
+		}
 	} else {
+		m.ctTiny = tiny
 		m.stepW, m.stepSub, m.stepLabels = w, sub, labels
 		pprof.Do(context.Background(),
 			pprof.Labels("parconn_level", levelLabels[level], "parconn_phase", "contract"),
@@ -487,6 +512,7 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 		rep, present, compact, newID, edgesOut = m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID, m.ctEdgesOut
 		m.stepW, m.stepSub, m.stepLabels = nil, nil, nil
 		m.ctRep, m.ctPresent, m.ctCompact, m.ctNewID = nil, nil, nil, nil
+		m.ctTiny = false
 	}
 	ctDur := time.Since(tCt)
 	if rec != nil {
@@ -494,8 +520,9 @@ func (m *ccMachine) ccLevel(w *decomp.WGraph, level int) ([]int32, error) {
 		rec.LevelEnd(end)
 	}
 
-	// Step 3: recurse on the contracted graph.
-	subLabels, err := m.ccLevel(sub, level+1)
+	// Step 3: recurse on the contracted graph. edgesOut is exact (post
+	// dedup, len(sub.Adj)), so the child never re-measures.
+	subLabels, err := m.ccLevel(sub, level+1, edgesOut)
 	if err != nil {
 		return nil, err
 	}
@@ -565,7 +592,7 @@ func (m *ccMachine) contract(w *decomp.WGraph, sub *decomp.WGraph, labels []int3
 	m.mask = uint64(1)<<kbits - 1
 	pairs := ws.Uint64(int(total))
 	m.pairs = pairs
-	pool.Blocks(procs, n, frontGrain, m.fnPairs)
+	pool.Blocks(procs, n, parallel.FrontierGrain, m.fnPairs)
 	ws.PutInt64(offs)
 	m.offs = nil
 
@@ -643,6 +670,126 @@ func (m *ccMachine) contract(w *decomp.WGraph, sub *decomp.WGraph, labels []int3
 	return rep, present, compact, newID, edgesOut
 }
 
-// frontGrain matches the decomposition's frontier grain for skewed-degree
-// loops.
-const frontGrain = 256
+// contractSerial is contract's tiny-level twin (DESIGN.md §12): the same
+// component renumbering, dedup, and CSR build, but single-threaded plain
+// loops with no worker-pool sections, no sharded counters, and a
+// comparison sort in place of the radix sort — below the tuner's
+// SerialLevel threshold the fork/join and scan passes of the parallel
+// version cost more than the work itself. Duplicate removal is a
+// sort-then-compact for both DedupHash and DedupSort (they agree on the
+// output: the sorted unique pair set), so the hash table is never touched.
+// Returns and releases exactly what contract does.
+//
+//parconn:allow scratchlifetime ownership transfers by contract: sub plus the returned buffers are released by the caller's level epilogue
+func (m *ccMachine) contractSerial(w *decomp.WGraph, sub *decomp.WGraph, labels []int32) (rep, present, compact, newID []int32, edgesOut int64) {
+	ws := m.ws
+	n := w.N
+
+	// Renumber centers to [0, k) and record the inverse. newID slots of
+	// non-centers are never read (relabel indexes it at labels[v], a
+	// center), but arena buffers come back dirty, so zero them anyway.
+	newID = ws.Int32(n)
+	k := 0
+	for v := 0; v < n; v++ {
+		if labels[v] == int32(v) {
+			k++
+		}
+	}
+	centers := ws.Int32(k)
+	id := int32(0)
+	for v := 0; v < n; v++ {
+		if labels[v] == int32(v) {
+			newID[v] = id
+			centers[id] = int32(v)
+			id++
+		} else {
+			newID[v] = 0
+		}
+	}
+
+	// Gather surviving directed edges as packed (srcComp, tgtComp) pairs;
+	// targets were already relabeled to center ids by the decomposition.
+	var total int64
+	for v := 0; v < n; v++ {
+		total += int64(w.Deg[v])
+	}
+	kbits := uint(intsort.Bits(uint64(max(1, int64(k)-1))))
+	mask := uint64(1)<<kbits - 1
+	pairs := ws.Uint64(int(total))
+	out := 0
+	for v := 0; v < n; v++ {
+		src := uint64(uint32(newID[labels[v]])) << kbits
+		base := w.Offs[v]
+		for i := int64(0); i < int64(w.Deg[v]); i++ {
+			pairs[out] = src | uint64(uint32(newID[w.Adj[base+i]]))
+			out++
+		}
+	}
+	slices.Sort(pairs)
+	if m.opt.Dedup != DedupNone {
+		u := 0
+		for i := range pairs {
+			if i == 0 || pairs[i] != pairs[i-1] {
+				pairs[u] = pairs[i]
+				u++
+			}
+		}
+		pairs = pairs[:u]
+	}
+	edgesOut = int64(len(pairs))
+
+	// Components with a surviving edge stay; singletons are dropped.
+	// compact is the exclusive scan of present (matching ExScan in the
+	// parallel version).
+	present = ws.Int32(k)
+	for c := range present {
+		present[c] = 0
+	}
+	for i := range pairs {
+		present[int32(pairs[i]>>kbits)] = 1
+	}
+	compact = ws.Int32(k)
+	kPrime := 0
+	for c := 0; c < k; c++ {
+		compact[c] = int32(kPrime)
+		if present[c] != 0 {
+			kPrime++
+		}
+	}
+	rep = ws.Int32(kPrime)
+	for c := 0; c < k; c++ {
+		if present[c] != 0 {
+			rep[compact[c]] = centers[c]
+		}
+	}
+	ws.PutInt32(centers)
+
+	// CSR build in compacted vertex space; pairs are sorted by (src, tgt),
+	// so first-of-source marks the offset and a backward sweep fills gaps.
+	subOffs := ws.Int64(kPrime + 1)
+	for v := range subOffs {
+		subOffs[v] = -1
+	}
+	subOffs[kPrime] = int64(len(pairs))
+	subAdj := ws.Int32(len(pairs))
+	for i := range pairs {
+		src := compact[pairs[i]>>kbits]
+		subAdj[i] = compact[int32(pairs[i]&mask)]
+		if i == 0 || int32(pairs[i-1]>>kbits) != int32(pairs[i]>>kbits) {
+			subOffs[src] = int64(i)
+		}
+	}
+	for v := kPrime - 1; v >= 0; v-- {
+		if subOffs[v] < 0 {
+			subOffs[v] = subOffs[v+1]
+		}
+	}
+	subDeg := ws.Int32(kPrime)
+	for v := 0; v < kPrime; v++ {
+		subDeg[v] = int32(subOffs[v+1] - subOffs[v])
+	}
+	ws.PutUint64(pairs)
+
+	*sub = decomp.WGraph{N: kPrime, Offs: subOffs, Adj: subAdj, Deg: subDeg}
+	return rep, present, compact, newID, edgesOut
+}

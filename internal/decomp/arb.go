@@ -8,10 +8,11 @@ import (
 	"parconn/internal/parallel"
 )
 
-// frontierGrain is the number of frontier vertices a worker claims at a
-// time. It is small because per-vertex work is proportional to degree and
-// degrees can be highly skewed.
-const frontierGrain = 256
+// retryShard maps a block's low index to a shard of the per-machine
+// sharded accumulators. The divisor is the baseline frontier grain (the
+// tuner varies the actual grain per round; any spreading function works
+// here, it only needs to keep concurrent blocks off one cache line).
+func retryShard(lo int) int { return lo / parallel.FrontierGrain }
 
 // retryShards sizes the per-machine sharded CAS-retry accumulator; block
 // indices hash into it, so it only needs to cover plausible worker counts.
@@ -33,13 +34,15 @@ type arbMachine struct {
 	edgeParallel     int
 	cursor           atomic.Int64
 	retries          *obs.ShardedInt64
+	liveOut          *obs.ShardedInt64
 
 	fnPre, fnMain func(lo, hi int)
 }
 
 //parconn:allow hotalloc machine is constructed once per Scratch and recycled across levels and runs
 func newArbMachine() *arbMachine {
-	m := &arbMachine{retries: obs.NewShardedInt64(retryShards)}
+	m := &arbMachine{retries: obs.NewShardedInt64(retryShards),
+		liveOut: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
 	// shift falls below the current round (paper lines 5-6).
 	m.fnPre = func(lo, hi int) {
@@ -66,14 +69,14 @@ func newArbMachine() *arbMachine {
 		g, c, parents, cur, nxt := m.g, m.c, m.parents, m.cur, m.nxt
 		procs := m.procs
 		cursor := &m.cursor
-		var casFail int64
+		var casFail, kept int64
 		for fi := lo; fi < hi; fi++ {
 			v := cur[fi]
 			cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
 			start := g.Offs[v]
 			d := int64(g.Deg[v])
 			if edgePar := m.edgeParallel; edgePar > 0 && d >= int64(edgePar) {
-				processEdgesParallel(g, c, parents, v, cv, nxt, cursor, procs)
+				kept += processEdgesParallel(g, c, parents, v, cv, nxt, cursor, procs)
 				continue
 			}
 			var k int64
@@ -97,8 +100,14 @@ func newArbMachine() *arbMachine {
 				}
 			}
 			g.Deg[v] = int32(k)
+			kept += k
 		}
-		m.retries.Add(lo/frontierGrain, casFail)
+		sh := retryShard(lo)
+		m.retries.Add(sh, casFail)
+		// Every vertex passes through exactly one fnMain as a frontier
+		// member, and its degree is final afterwards, so these block-local
+		// sums add up to the surviving (inter-component) edge count.
+		m.liveOut.Add(sh, kept)
 	}
 	return m
 }
@@ -111,10 +120,26 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	}
 	t0 := now()
 	pool, ws := opt.resolve()
+	tn := opt.Tuner
+	// Procs is a bound; narrow it to the physical CPU count (DESIGN.md §12).
+	procs = tn.Workers(procs)
 	m.pool, m.procs, m.g = pool, procs, g
+	// liveEdges is the level's entering directed edge count (Offs is the
+	// frozen CSR layout, so Offs[n] is exactly the live total at entry).
+	// Per-round edge masses for the tuner are estimated as frontier ×
+	// average degree; exact tracking costs a random Deg load per claim.
+	liveEdges := g.Offs[n]
+	avgDeg := liveEdges / int64(n)
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
 	m.edgeParallel = opt.EdgeParallel
+	if m.edgeParallel == 0 {
+		m.edgeParallel = tn.EdgeParallelCutoff(procs, liveEdges)
+	}
 	rec := opt.Recorder
 	m.retries.Reset()
+	m.liveOut.Reset()
 
 	c := ws.Int32(n)
 	parallel.Fill(procs, c, unvisited)
@@ -138,7 +163,7 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	phInit := time.Since(t0)
 
 	var phPre, phMain time.Duration
-	var prevRetries int64
+	var prevRetries, retryDelta int64
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
 	for visited < n {
@@ -173,16 +198,22 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 		m.cur = bufs[curBuf][:curN]
 		m.nxt = bufs[1-curBuf]
 		m.cursor.Store(0)
-		pool.Blocks(procs, curN, frontierGrain, m.fnMain)
+		// Re-tune at the round boundary: grain from the frontier's
+		// estimated edge mass and the previous round's contention, then
+		// feed the measured wall time back into the cost EWMA.
+		curEdges := int64(curN) * avgDeg
+		grain := tn.FrontierGrain(procs, curN, curEdges, retryDelta)
+		pool.Blocks(procs, curN, grain, m.fnMain)
 		dMain := time.Since(tMain)
 		phMain += dMain
+		tn.Observe(curEdges, dMain)
+		sum := m.retries.Sum()
+		retryDelta, prevRetries = sum-prevRetries, sum
 		if rec != nil {
-			sum := m.retries.Sum()
 			rec.Round(obs.Round{
 				Level: opt.Level, Round: round, Frontier: curN, NewCenters: added,
-				Duration: dPre + dMain, CASRetries: sum - prevRetries,
+				Duration: dPre + dMain, CASRetries: retryDelta,
 			})
-			prevRetries = sum
 		}
 		// Count the frontier we just processed as visited (paper line 7);
 		// counting at claim time instead would end the loop before the last
@@ -208,5 +239,6 @@ func (m *arbMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(bufs[1])
 	m.g, m.c, m.parents, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
 	//parconn:allow scratchlifetime Labels ownership transfers to the caller, who releases it after RELABELUP (see the comment above)
-	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, Parents: parents, CASRetries: m.retries.Sum()}
+	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, Parents: parents,
+		CASRetries: m.retries.Sum(), EdgesOut: m.liveOut.Sum()}
 }

@@ -82,8 +82,12 @@ type Options struct {
 	// high-degree vertices the inner sequential for-loops ... can be
 	// replaced with a parallel for-loop, marking the deleted edges with a
 	// special value and packing the edges with a parallel prefix sums").
-	// Zero disables it — the paper's final configuration, which found no
-	// benefit at modest core counts. Currently honored by the Arb variant.
+	// Zero means adaptive: the tuner derives a cutoff from the level's
+	// live edge count and worker count (parallel.Tuner.EdgeParallelCutoff),
+	// which only fires on lists that are a meaningful fraction of the
+	// level's work — effectively off for the paper's inputs, matching its
+	// final configuration, without leaving star-like graphs serialized on
+	// one hub. Currently honored by the Arb variant.
 	EdgeParallel int
 	// Phases, if non-nil, accumulates wall-clock time per phase. It is a
 	// compatibility view over the Recorder event stream: Decompose folds it
@@ -121,6 +125,11 @@ type Options struct {
 	// steady state allocates no closures. Must not be shared by
 	// concurrent Decompose calls.
 	Scratch *Scratch
+	// Tuner, if non-nil, supplies the adaptive scheduling decisions (grain
+	// sizes, edge-parallel cutoff) and accumulates cost observations across
+	// calls; nil uses the Scratch's tuner (one per recursion). Like
+	// Scratch, it must not be shared by concurrent Decompose calls.
+	Tuner *parallel.Tuner
 }
 
 // resolve returns the effective pool and arena for opt.
@@ -212,6 +221,12 @@ type Result struct {
 	// decomposition — the contention the paper's arbitrary tie-breaking
 	// tolerates instead of serializing.
 	CASRetries int64
+	// EdgesOut is the number of directed inter-component edges surviving
+	// in the WGraph after the decomposition — exactly what LiveEdges would
+	// report, accumulated for free in the machines' final classification
+	// passes so the connectivity driver needs no extra reduction to decide
+	// its base case.
+	EdgesOut int64
 }
 
 // Decompose runs the selected variant on g, destructively (see package doc).
@@ -231,6 +246,9 @@ func Decompose(g *WGraph, variant Variant, opt Options) (Result, error) {
 	if sc == nil {
 		//parconn:allow hotalloc fallback scratch for one-shot callers; level loops pass a reusable Scratch
 		sc = &Scratch{}
+	}
+	if opt.Tuner == nil {
+		opt.Tuner = &sc.tuner
 	}
 	switch variant {
 	case Min:

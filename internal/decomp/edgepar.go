@@ -13,8 +13,9 @@ import (
 // sequential Arb inner loop.
 //
 // The deletion sentinel is -1: surviving entries are component ids, which
-// are always >= 0 at this point of the algorithm.
-func processEdgesParallel(g *WGraph, c, parents []int32, v, cv int32, nxt []int32, cursor *atomic.Int64, procs int) {
+// are always >= 0 at this point of the algorithm. Returns the number of
+// surviving (inter-component) edges, which is v's final live degree.
+func processEdgesParallel(g *WGraph, c, parents []int32, v, cv int32, nxt []int32, cursor *atomic.Int64, procs int) int64 {
 	start := g.Offs[v]
 	seg := g.Adj[start : start+int64(g.Deg[v])]
 	parallel.Blocks(procs, len(seg), 4096, func(lo, hi int) {
@@ -39,4 +40,5 @@ func processEdgesParallel(g *WGraph, c, parents []int32, v, cv int32, nxt []int3
 	parallel.Copy(procs, seg[:len(kept)], kept)
 	//parconn:allow conversioncheck kept is a subset of seg, whose length came from the int32 g.Deg[v]
 	g.Deg[v] = int32(len(kept))
+	return int64(len(kept))
 }

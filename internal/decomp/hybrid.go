@@ -16,13 +16,23 @@ import (
 //
 // Unlike a plain BFS, connectivity must eventually classify every edge as
 // intra- or inter-component; dense rounds skip that work, so a filterEdges
-// post-pass classifies whatever the BFS did not touch. Sparse rounds mark
-// the edges they already relabeled with the sign bit so filterEdges does not
-// process them again (paper §4, last paragraph).
+// post-pass classifies whatever the BFS did not touch. A sparse round
+// classifies the whole list of every frontier vertex it processes, so it
+// writes plain relabeled entries and stamps the vertex fullyClassified in
+// frontRound; filterEdges skips such vertices entirely. (The paper's §4
+// per-edge sign marks survive only for the fused dense pass, which leaves
+// mixed classified/raw lists behind.)
 //
 // The loop bodies are bound once (see Scratch); per-round state flows
 // through the fields, written only by the coordinator between parallel
 // sections.
+
+// fullyClassified is the frontRound stamp a sparse round leaves on a
+// frontier vertex it has processed: the vertex's surviving entries are all
+// plain relabeled component ids, so filterEdges skips it. It can never
+// collide with a round number (>= 0) or the -1 "never on a frontier" fill.
+const fullyClassified = int32(-2)
+
 type hybridMachine struct {
 	procs int
 	g     *WGraph
@@ -33,13 +43,15 @@ type hybridMachine struct {
 	r32, r32next        int32
 	cursor              atomic.Int64
 	retries             *obs.ShardedInt64
+	liveOut             *obs.ShardedInt64
 
 	fnPre, fnDense, fnDenseFront, fnSparse, fnFilter func(lo, hi int)
 }
 
 //parconn:allow hotalloc machine is constructed once per Scratch and recycled across levels and runs
 func newHybridMachine() *hybridMachine {
-	m := &hybridMachine{retries: obs.NewShardedInt64(retryShards)}
+	m := &hybridMachine{retries: obs.NewShardedInt64(retryShards),
+		liveOut: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
 	// shift falls below the current round (paper lines 5-6).
 	m.fnPre = func(lo, hi int) {
@@ -57,31 +69,64 @@ func newHybridMachine() *hybridMachine {
 			}
 		}
 	}
-	// Read-based pass: every unvisited vertex looks for any neighbor on the
-	// current frontier and adopts its component, exiting the scan early.
-	// Edges are left unclassified for filterEdges.
+	// Read-based pass with fused edge deletion: every unvisited vertex
+	// looks for any neighbor on the current frontier and adopts its
+	// component (early exit, as in the paper's §4); a vertex that adopts
+	// then classifies its whole edge list in the same CSR pass —
+	// same-component edges are deleted on the fly, known inter-component
+	// edges are sign-marked like the sparse pass's, and edges to
+	// still-unvisited neighbors stay raw for a later round or filterEdges.
+	// On the dominant dense level-0 rounds this replaces the separate
+	// decompose-then-filterEdges sweeps with one fused pass.
 	m.fnDense = func(lo, hi int) {
 		g, c, frontRound, nxt := m.g, m.c, m.frontRound, m.nxt
 		r32 := m.r32
 		cursor := &m.cursor
 		for w := lo; w < hi; w++ {
-			// The dense pass is read/owner-write only (paper §4); CAS
-			// rounds are barrier-separated from it.
-			if c[w] != unvisited {
+			// Only w's own iteration writes c[w] during the dense pass, so
+			// the plain read cannot tear against the owner store below.
+			if c[w] != unvisited { //parconn:allow mixedatomic owner-slot read: no other iteration writes c[w] in this section
 				continue
 			}
 			start := g.Offs[int32(w)]
 			d := int64(g.Deg[w])
+			cw := unvisited
 			for i := int64(0); i < d; i++ {
 				u := g.Adj[start+i]
 				if frontRound[u] == r32 {
-					// Only w's own iteration writes c[w]; c[u] was fixed
-					// before this round's fork barrier.
-					c[w] = c[u]
-					nxt[cursor.Add(1)-1] = int32(w)
+					// c[u] was fixed before this round's fork barrier.
+					cw = c[u] //parconn:allow mixedatomic frontier labels were published by the previous round's join barrier
 					break
 				}
 			}
+			if cw == unvisited {
+				continue
+			}
+			// Publish the adoption atomically: concurrent fused sweeps
+			// read neighbors' slots, and they must observe either
+			// unvisited or the final label.
+			atomic.StoreInt32(&c[w], cw)
+			nxt[cursor.Add(1)-1] = int32(w)
+			var k int64
+			for i := int64(0); i < d; i++ {
+				u := g.Adj[start+i]
+				// A racy read that still sees unvisited while u adopts
+				// concurrently only defers the edge to filterEdges; any
+				// label it does see is u's final one, so the
+				// classification is exact either way (the advisory-stats
+				// argument of DESIGN.md §12 does not even apply here).
+				cu := atomic.LoadInt32(&c[u])
+				switch {
+				case cu == unvisited:
+					g.Adj[start+k] = u // unknown yet: a later round or filterEdges classifies it
+					k++
+				case cu != cw:
+					g.Adj[start+k] = -cu - 1 // inter-component: keep, marked classified
+					k++
+				}
+				// cu == cw: intra-component, deleted on the fly.
+			}
+			g.Deg[w] = int32(k)
 		}
 	}
 	// Stamp the dense round's new frontier with its join round.
@@ -91,16 +136,18 @@ func newHybridMachine() *hybridMachine {
 			frontRound[nxt[i]] = r32next
 		}
 	}
-	// Write-based pass: Decomp-Arb's single CAS pass, except that relabeled
-	// inter-component edges get the sign bit set so the filterEdges pass can
-	// tell them from untouched edges.
-	// Lost CAS races accumulate in a block-local counter flushed once per
-	// claimed block — never a Recorder call from inside the section.
+	// Write-based pass: Decomp-Arb's single CAS pass. It classifies every
+	// surviving edge of the frontier vertex it processes, so it writes plain
+	// relabeled entries (unmarking any a fused dense round already
+	// classified) and stamps the vertex fullyClassified — filterEdges skips
+	// it, which on skewed graphs removes a whole post-pass over the hub
+	// lists. Lost CAS races accumulate in a block-local counter flushed once
+	// per claimed block — never a Recorder call from inside the section.
 	m.fnSparse = func(lo, hi int) {
 		g, c, frontRound, cur, nxt := m.g, m.c, m.frontRound, m.cur, m.nxt
 		r32next := m.r32next
 		cursor := &m.cursor
-		var casFail int64
+		var casFail, kept int64
 		for fi := lo; fi < hi; fi++ {
 			v := cur[fi]
 			cv := c[v] //parconn:allow mixedatomic c[v] was claimed by CAS in an earlier round; the join barrier publishes it
@@ -109,6 +156,13 @@ func newHybridMachine() *hybridMachine {
 			var k int64
 			for i := int64(0); i < d; i++ {
 				w := g.Adj[start+i]
+				if w < 0 {
+					// Already classified by a fused dense round (v adopted
+					// there and pre-filtered its list); unmark in place.
+					g.Adj[start+k] = -w - 1
+					k++
+					continue
+				}
 				if atomic.LoadInt32(&c[w]) == unvisited {
 					if atomic.CompareAndSwapInt32(&c[w], unvisited, cv) {
 						frontRound[w] = r32next
@@ -118,21 +172,37 @@ func newHybridMachine() *hybridMachine {
 					casFail++ // raced for w and lost to another frontier vertex
 				}
 				if cw := atomic.LoadInt32(&c[w]); cw != cv {
-					g.Adj[start+k] = -cw - 1
+					g.Adj[start+k] = cw
 					k++
 				}
 			}
 			g.Deg[v] = int32(k)
+			kept += k
+			// Only v's processing round writes frontRound[v]: claims in this
+			// section write slots of still-unvisited vertices, and v is not
+			// one. Dense membership probes run in other, barrier-separated
+			// rounds and test equality with a round number, never -2.
+			frontRound[v] = fullyClassified
 		}
-		m.retries.Add(lo/frontierGrain, casFail)
+		sh := retryShard(lo)
+		m.retries.Add(sh, casFail)
+		// A fullyClassified vertex's degree is final here and filterEdges
+		// skips it, so its surviving edges are counted in this block sum.
+		m.liveOut.Add(sh, kept)
 	}
-	// filterEdges: classify every surviving edge. Vertices processed by
-	// sparse rounds hold only sign-marked (already classified, relabeled)
-	// entries; vertices visited during dense rounds hold their untouched
-	// original lists.
+	// filterEdges: classify every surviving edge the BFS did not. Vertices
+	// stamped fullyClassified (processed by a sparse round) are skipped —
+	// their lists already hold plain relabeled entries and were counted at
+	// processing time. The rest hold raw original lists (claimed during a
+	// round but never push-processed) or the mixed marked/raw lists a fused
+	// dense adoption leaves behind.
 	m.fnFilter = func(lo, hi int) {
-		g, c := m.g, m.c
+		g, c, frontRound := m.g, m.c, m.frontRound
+		var kept int64
 		for v := lo; v < hi; v++ {
+			if frontRound[v] == fullyClassified {
+				continue
+			}
 			start := g.Offs[v]
 			d := int64(g.Deg[v])
 			// filterEdges runs after the last BFS join barrier; c is
@@ -150,7 +220,12 @@ func newHybridMachine() *hybridMachine {
 				}
 			}
 			g.Deg[v] = int32(k)
+			kept += k
 		}
+		// Every vertex's degree is finalized exactly once — here, or in the
+		// sparse round that stamped it fullyClassified — and counted into
+		// liveOut by whichever pass did it, so the sums stay exact.
+		m.liveOut.Add(retryShard(lo), kept)
 	}
 	return m
 }
@@ -163,9 +238,23 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	}
 	t0 := now()
 	pool, ws := opt.resolve()
+	tn := opt.Tuner
+	// Procs is a bound; narrow it to the physical CPU count (DESIGN.md §12).
+	procs = tn.Workers(procs)
 	m.procs, m.g = procs, g
+	// Level-entry edge count (Offs is the frozen CSR layout). Per-round edge
+	// masses for the tuner are estimated as frontier × average degree: exact
+	// tracking (summing claimed vertices' degrees) was measured to cost more
+	// than it buys — one extra random Deg load per claimed vertex, a cache
+	// miss each — and the grain decision only needs the magnitude.
+	liveEdges := g.Offs[n]
+	avgDeg := liveEdges / int64(n)
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
 	rec := opt.Recorder
 	m.retries.Reset()
+	m.liveOut.Reset()
 
 	c := ws.Int32(n)
 	parallel.Fill(procs, c, unvisited)
@@ -184,7 +273,10 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	phInit := time.Since(t0)
 
 	var phPre, phDense, phSparse time.Duration
-	var prevRetries int64
+	var prevRetries, retryDelta int64
+	// explored estimates the edge mass of frontiers already processed, so
+	// liveEdges-explored bounds the edges a dense pass could still touch.
+	var explored int64
 	denseThreshold := int(opt.DenseFrac * float64(n))
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
@@ -216,16 +308,32 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 			// to the next round that yields new centers.
 			continue
 		}
+		// Direction choice stays the paper's vertex-fraction rule. (An
+		// edge-mass rule — go dense when few frontier vertices own most
+		// edges — was tried and measured slower on skewed graphs: with a
+		// small frontier the read pass loses its early exit and scans
+		// nearly every unexplored list to the end.)
+		curEdges := int64(curN) * avgDeg
+		unexplored := liveEdges - explored
+		if unexplored < 0 {
+			unexplored = 0
+		}
 		dense := curN > denseThreshold
 		m.cur = bufs[curBuf][:curN]
 		m.nxt = bufs[1-curBuf]
 		m.cursor.Store(0)
 
+		// Re-tune at the round boundary: estimated edge work for this round
+		// (the sparse pass scans the frontier's edge mass, the dense pass
+		// at worst the unexplored lists), previous round's contention, and
+		// the measured wall time fed back into the cost EWMA.
 		var dRound time.Duration
+		var roundEdges int64
 		if dense {
 			tDense := now()
 			m.r32 = int32(round)
-			pool.Blocks(procs, n, 0, m.fnDense)
+			roundEdges = unexplored
+			pool.Blocks(procs, n, tn.FrontierGrain(procs, n, int64(n)+roundEdges, 0), m.fnDense)
 			newN := int(m.cursor.Load())
 			m.r32next = int32(round + 1)
 			pool.Blocks(procs, newN, 0, m.fnDenseFront)
@@ -234,22 +342,25 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 		} else {
 			tSparse := now()
 			m.r32next = int32(round + 1)
-			pool.Blocks(procs, curN, frontierGrain, m.fnSparse)
+			roundEdges = curEdges
+			pool.Blocks(procs, curN, tn.FrontierGrain(procs, curN, roundEdges, retryDelta), m.fnSparse)
 			dRound = time.Since(tSparse)
 			phSparse += dRound
 		}
+		tn.Observe(roundEdges, dRound)
+		sum := m.retries.Sum()
+		retryDelta, prevRetries = sum-prevRetries, sum
 		if rec != nil {
-			sum := m.retries.Sum()
 			rec.Round(obs.Round{
 				Level: opt.Level, Round: round, Frontier: curN, NewCenters: added,
-				Dense: dense, Duration: dPre + dRound, CASRetries: sum - prevRetries,
+				Dense: dense, Duration: dPre + dRound, CASRetries: retryDelta,
 			})
-			prevRetries = sum
 		}
 		// Count the frontier we just processed as visited (paper line 7);
 		// counting at claim time instead would end the loop before the last
 		// frontier's edges are classified.
 		visited += curN
+		explored += curEdges
 		curBuf = 1 - curBuf
 		curN = int(m.cursor.Load())
 		round++
@@ -257,7 +368,7 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	}
 
 	tFilter := now()
-	pool.Blocks(procs, n, frontierGrain, m.fnFilter)
+	pool.Blocks(procs, n, tn.FrontierGrain(procs, n, liveEdges, 0), m.fnFilter)
 	dFilter := time.Since(tFilter)
 
 	if rec != nil {
@@ -277,5 +388,6 @@ func (m *hybridMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt32(frontRound)
 	m.g, m.c, m.frontRound, m.perm, m.front, m.cur, m.nxt = nil, nil, nil, nil, nil, nil, nil
 	//parconn:allow scratchlifetime Labels ownership transfers to the caller, who releases it after RELABELUP (see the comment above)
-	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds, CASRetries: m.retries.Sum()}
+	return Result{Labels: c, NumCenters: numCenters, Rounds: workRounds,
+		CASRetries: m.retries.Sum(), EdgesOut: m.liveOut.Sum()}
 }

@@ -69,6 +69,7 @@ type minMachine struct {
 	labels          []int32
 	cursor          atomic.Int64
 	retries         *obs.ShardedInt64
+	liveOut         *obs.ShardedInt64
 	fnPre, fnPhase1 func(lo, hi int)
 	fnPhase2        func(lo, hi int)
 	fnUnsign        func(lo, hi int)
@@ -77,7 +78,8 @@ type minMachine struct {
 
 //parconn:allow hotalloc machine is constructed once per Scratch and recycled across levels and runs
 func newMinMachine() *minMachine {
-	m := &minMachine{retries: obs.NewShardedInt64(retryShards)}
+	m := &minMachine{retries: obs.NewShardedInt64(retryShards),
+		liveOut: obs.NewShardedInt64(retryShards)}
 	// bfsPre: start new BFS's from the permutation prefix whose simulated
 	// shift falls below the current round.
 	m.fnPre = func(lo, hi int) {
@@ -131,14 +133,14 @@ func newMinMachine() *minMachine {
 			}
 			g.Deg[v] = int32(k)
 		}
-		m.retries.Add(lo/frontierGrain, casFail)
+		m.retries.Add(retryShard(lo), casFail)
 	}
 	// Phase 2 (paper lines 24-39): the centers whose mark survived claim
 	// their neighbors with a CAS; remaining edges are classified.
 	m.fnPhase2 = func(lo, hi int) {
 		g, c, deltaFrac, cur, nxt := m.g, m.c, m.deltaFrac, m.cur, m.nxt
 		cursor := &m.cursor
-		var casFail int64
+		var casFail, kept int64
 		for fi := lo; fi < hi; fi++ {
 			v := cur[fi]
 			cv := pairC2(atomic.LoadInt64(&c[v]))
@@ -174,8 +176,13 @@ func newMinMachine() *minMachine {
 				}
 			}
 			g.Deg[v] = int32(k)
+			kept += k
 		}
-		m.retries.Add(lo/frontierGrain, casFail)
+		sh := retryShard(lo)
+		m.retries.Add(sh, casFail)
+		// Phase 2 finalizes every frontier vertex's degree exactly once, so
+		// these block-local sums add up to the surviving edge count.
+		m.liveOut.Add(sh, kept)
 	}
 	// Unset the sign bits of the surviving (inter-component) edges so the
 	// contraction phase sees plain component ids.
@@ -210,9 +217,19 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	}
 	t0 := now()
 	pool, ws := opt.resolve()
+	tn := opt.Tuner
+	// Procs is a bound; narrow it to the physical CPU count (DESIGN.md §12).
+	procs = tn.Workers(procs)
 	m.procs, m.g = procs, g
+	// Per-round edge masses for the tuner are estimated as frontier ×
+	// average degree; exact tracking costs a random Deg load per claim.
+	avgDeg := g.Offs[n] / int64(n)
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
 	rec := opt.Recorder
 	m.retries.Reset()
+	m.liveOut.Reset()
 
 	c := ws.Int64(n)
 	parallel.Fill(procs, c, packPair(minInf, minInf))
@@ -235,7 +252,7 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	phInit := time.Since(t0)
 
 	var phPre, phPhase1, phPhase2 time.Duration
-	var prevRetries int64
+	var prevRetries, retryDelta int64
 	permPtr, visited, round := 0, 0, 0
 	numCenters, workRounds := 0, 0
 	for visited < n {
@@ -269,22 +286,29 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 		m.nxt = bufs[1-curBuf]
 		m.cursor.Store(0)
 
+		// Re-tune at the round boundary; both phases sweep the same frontier
+		// edge set, so they share one grain decision and the cost EWMA sees
+		// the combined wall time over twice the edges.
+		curEdges := int64(curN) * avgDeg
+		grain := tn.FrontierGrain(procs, curN, curEdges, retryDelta)
+
 		t1 := now()
-		pool.Blocks(procs, curN, frontierGrain, m.fnPhase1)
+		pool.Blocks(procs, curN, grain, m.fnPhase1)
 		d1 := time.Since(t1)
 		phPhase1 += d1
 
 		t2 := now()
-		pool.Blocks(procs, curN, frontierGrain, m.fnPhase2)
+		pool.Blocks(procs, curN, grain, m.fnPhase2)
 		d2 := time.Since(t2)
 		phPhase2 += d2
+		tn.Observe(2*curEdges, d1+d2)
+		sum := m.retries.Sum()
+		retryDelta, prevRetries = sum-prevRetries, sum
 		if rec != nil {
-			sum := m.retries.Sum()
 			rec.Round(obs.Round{
 				Level: opt.Level, Round: round, Frontier: curN, NewCenters: added,
-				Duration: dPre + d1 + d2, CASRetries: sum - prevRetries,
+				Duration: dPre + d1 + d2, CASRetries: retryDelta,
 			})
-			prevRetries = sum
 		}
 		// Count the frontier we just processed as visited (paper line 7);
 		// counting at claim time instead would end the loop before the last
@@ -320,5 +344,6 @@ func (m *minMachine) run(g *WGraph, opt Options) Result {
 	ws.PutInt64(c)
 	m.g, m.c, m.deltaFrac, m.perm, m.front, m.cur, m.nxt, m.labels = nil, nil, nil, nil, nil, nil, nil, nil
 	//parconn:allow scratchlifetime Labels ownership transfers to the caller, who releases it after RELABELUP (see the comment above)
-	return Result{Labels: labels, NumCenters: numCenters, Rounds: workRounds, CASRetries: m.retries.Sum()}
+	return Result{Labels: labels, NumCenters: numCenters, Rounds: workRounds,
+		CASRetries: m.retries.Sum(), EdgesOut: m.liveOut.Sum()}
 }

@@ -1,5 +1,7 @@
 package decomp
 
+import "parconn/internal/parallel"
+
 // Scratch caches the per-variant "machines" — structs whose parallel loop
 // bodies are closures bound once at construction and re-aimed at each call's
 // data through machine fields. Per-round closure literals were the dominant
@@ -16,6 +18,10 @@ type Scratch struct {
 	arb    *arbMachine
 	hybrid *hybridMachine
 	min    *minMachine
+	// tuner is the fallback adaptive scheduler for callers that do not
+	// thread their own through Options.Tuner; its cost EWMA then persists
+	// across this Scratch's Decompose calls.
+	tuner parallel.Tuner
 }
 
 func (s *Scratch) arbM() *arbMachine {

@@ -50,8 +50,9 @@ func (w *WGraph) init(g *graph.Graph, procs int, adj, deg []int32) {
 }
 
 // LiveEdges returns the current number of live directed edges (sum of Deg).
-// The serial path avoids constructing a closure so the per-level callers
-// stay allocation-free.
+// CC no longer calls this per level (the decomposition machines report
+// Result.EdgesOut from their classification passes instead); the remaining
+// callers are cold-path consumers like the spanner and CutEdges stats.
 func (w *WGraph) LiveEdges(procs int) int64 {
 	if parallel.Procs(procs) == 1 || w.N < parallel.DefaultGrain {
 		var total int64
@@ -60,6 +61,5 @@ func (w *WGraph) LiveEdges(procs int) int64 {
 		}
 		return total
 	}
-	//parconn:allow hotalloc one reduction closure per measured LiveEdges call; the serial path above covers the per-level hot callers
 	return parallel.MapReduce(procs, w.N, func(v int) int64 { return int64(w.Deg[v]) })
 }

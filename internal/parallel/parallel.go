@@ -39,7 +39,8 @@ func Procs(p int) int {
 // Blocks runs fn over disjoint subranges [lo,hi) covering [0,n) using up to
 // procs workers, with at least grain iterations per block (except the last).
 // fn must be safe to call concurrently on disjoint ranges. If grain <= 0,
-// DefaultGrain is used.
+// the loop is treated as uniform work per iteration and UniformGrain is
+// used (a few blocks per worker, at least DefaultGrain).
 func Blocks(procs, n, grain int, fn func(lo, hi int)) {
 	Default().Blocks(procs, n, grain, fn)
 }
@@ -51,7 +52,7 @@ func (p *Pool) Blocks(procs, n, grain int, fn func(lo, hi int)) {
 	}
 	procs = Procs(procs)
 	if grain <= 0 {
-		grain = DefaultGrain
+		grain = UniformGrain(procs, n)
 	}
 	nblocks := (n + grain - 1) / grain
 	if procs == 1 || nblocks == 1 {
@@ -89,7 +90,7 @@ func (p *Pool) ForGrain(procs, n, grain int, fn func(i int)) {
 	}
 	procs = Procs(procs)
 	if grain <= 0 {
-		grain = DefaultGrain
+		grain = UniformGrain(procs, n)
 	}
 	nblocks := (n + grain - 1) / grain
 	if procs == 1 || nblocks == 1 {
@@ -236,7 +237,6 @@ func MapReduce[T Number](procs, n int, f func(i int) T) T {
 		}
 		return total
 	}
-	//parconn:allow hotalloc per-call partial-sum array sized by procs; budgeted reduction scratch
 	partial := make([]T, procs)
 	used := WorkerBlocks(procs, n, func(w, lo, hi int) {
 		var s T

@@ -1,0 +1,201 @@
+package parallel
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// profile is a synthetic per-round stat stream: what a decomposition round
+// loop would feed the tuner on a given graph family.
+type profile struct {
+	name     string
+	procs    int
+	frontier int
+	edges    int64 // edges carried by the frontier
+	retries  int64
+	// observations replayed into the EWMA before the decision.
+	obsItems []int64
+	obsDur   []time.Duration
+}
+
+func (p profile) tuner() *Tuner {
+	t := &Tuner{}
+	for i, items := range p.obsItems {
+		t.Observe(items, p.obsDur[i])
+	}
+	return t
+}
+
+func TestFrontierGrainRanges(t *testing.T) {
+	tests := []struct {
+		profile
+		minGrain, maxGrain int
+	}{
+		// Uniform random graph: 100k-vertex frontier, average degree 10,
+		// no measurements yet — the default cost estimate applies.
+		{profile{name: "uniform", procs: 4, frontier: 100_000, edges: 1_000_000},
+			minFrontierGrain, maxFrontierGrain},
+		// rMat-skewed: big frontier, heavy average degree, measured cost
+		// around 8ns/edge. Grain must stay small enough for the claim loop
+		// to balance the skew: at least 4 blocks per worker.
+		{profile{name: "rmat-skewed", procs: 4, frontier: 250_000, edges: 10_000_000,
+			obsItems: []int64{10_000_000}, obsDur: []time.Duration{80 * time.Millisecond}},
+			minFrontierGrain, 250_000 / (4 * 4)},
+		// Star: one hub dominates; the frontier itself is tiny, so the
+		// round must run serially (grain == frontier means one block).
+		{profile{name: "star", procs: 4, frontier: 3, edges: 1_000_000}, 3, 3},
+		// Path: long frontier of degree-2 vertices with CAS contention at
+		// the chain's meeting points.
+		{profile{name: "path", procs: 4, frontier: 500_000, edges: 1_000_000, retries: 100_000},
+			minFrontierGrain, 500_000 / (4 * 4)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tn := tc.tuner()
+			g := tn.FrontierGrain(tc.procs, tc.frontier, tc.edges, tc.retries)
+			if g < tc.minGrain || g > tc.maxGrain {
+				t.Fatalf("FrontierGrain(%s) = %d, want in [%d, %d]", tc.name, g, tc.minGrain, tc.maxGrain)
+			}
+			if tc.frontier > serialFrontier {
+				// Parallel frontiers must yield at least two blocks per
+				// worker or splitting was pointless.
+				if blocks := (tc.frontier + g - 1) / g; blocks < 2*tc.procs {
+					t.Fatalf("FrontierGrain(%s) = %d gives %d blocks for %d workers", tc.name, g, blocks, tc.procs)
+				}
+			}
+		})
+	}
+}
+
+func TestFrontierGrainContentionShrinks(t *testing.T) {
+	var tn Tuner
+	calm := tn.FrontierGrain(4, 100_000, 1_000_000, 0)
+	contended := tn.FrontierGrain(4, 100_000, 1_000_000, 50_000)
+	if contended > calm {
+		t.Fatalf("contended grain %d > calm grain %d", contended, calm)
+	}
+}
+
+func TestFrontierGrainSerialCases(t *testing.T) {
+	var tn Tuner
+	if g := tn.FrontierGrain(1, 1_000_000, 10_000_000, 0); g != 1_000_000 {
+		t.Fatalf("procs=1 grain = %d, want the whole frontier", g)
+	}
+	if g := tn.FrontierGrain(4, serialFrontier, 1_000_000, 0); g != serialFrontier {
+		t.Fatalf("tiny-frontier grain = %d, want the whole frontier (%d)", g, serialFrontier)
+	}
+}
+
+func TestObserveUpdatesEstimate(t *testing.T) {
+	var tn Tuner
+	if tn.NSPerItem() != 0 {
+		t.Fatalf("fresh tuner NSPerItem = %v, want 0", tn.NSPerItem())
+	}
+	tn.Observe(1_000_000, 8*time.Millisecond) // 8ns/item
+	if got := tn.NSPerItem(); got < 7 || got > 9 {
+		t.Fatalf("NSPerItem after 8ns observation = %v", got)
+	}
+	// Costlier sections shrink the grain.
+	cheap := (&Tuner{}).FrontierGrain(4, 1<<20, 1<<23, 0)
+	var slow Tuner
+	slow.Observe(1_000_000, 100*time.Millisecond) // 100ns/item
+	if g := slow.FrontierGrain(4, 1<<20, 1<<23, 0); g >= cheap {
+		t.Fatalf("slow-cost grain %d >= default-cost grain %d", g, cheap)
+	}
+	// Tiny sections are ignored: fork/join noise, not per-item cost.
+	before := slow.NSPerItem()
+	slow.Observe(10, time.Second)
+	if slow.NSPerItem() != before {
+		t.Fatalf("tiny observation changed the estimate: %v -> %v", before, slow.NSPerItem())
+	}
+}
+
+func TestEdgeParallelCutoff(t *testing.T) {
+	var tn Tuner
+	if c := tn.EdgeParallelCutoff(1, 10_000_000); c != 0 {
+		t.Fatalf("procs=1 cutoff = %d, want 0 (disabled)", c)
+	}
+	c := tn.EdgeParallelCutoff(4, 10_000_000)
+	if c < minEdgeParallelCutoff {
+		t.Fatalf("cutoff %d below floor %d", c, minEdgeParallelCutoff)
+	}
+	if c > 10_000_000/(2*4) {
+		t.Fatalf("cutoff %d above liveEdges/(2*procs)", c)
+	}
+	// A tiny level can never reach the floor, so the path stays cold.
+	if c := tn.EdgeParallelCutoff(4, 1000); c != minEdgeParallelCutoff {
+		t.Fatalf("tiny-level cutoff = %d, want the floor %d", c, minEdgeParallelCutoff)
+	}
+}
+
+func TestSerialLevel(t *testing.T) {
+	var tn Tuner
+	if !tn.SerialLevel(138, 276) {
+		t.Fatal("late contraction level (n=138) should run serially")
+	}
+	if tn.SerialLevel(1<<20, 10_000_000) {
+		t.Fatal("level 0 of an rMat-20 run must not be serialized")
+	}
+}
+
+func TestUniformGrain(t *testing.T) {
+	if g := UniformGrain(1, 1_000_000); g != 1_000_000 {
+		t.Fatalf("procs=1 uniform grain = %d, want n", g)
+	}
+	g := UniformGrain(4, 1<<20)
+	if g < DefaultGrain {
+		t.Fatalf("uniform grain %d below DefaultGrain", g)
+	}
+	if blocks := (1<<20 + g - 1) / g; blocks > uniformBlocksPerProc*4 {
+		t.Fatalf("uniform grain %d gives %d blocks, cap is %d", g, blocks, uniformBlocksPerProc*4)
+	}
+	// Small loops still get DefaultGrain (one or two blocks).
+	if g := UniformGrain(4, 1000); g != DefaultGrain {
+		t.Fatalf("small-n uniform grain = %d, want DefaultGrain", g)
+	}
+}
+
+// TestTunerDeterministic replays the same observation/stat stream into two
+// independent tuners and requires identical decisions at every step: traces
+// must be reproducible run to run.
+func TestTunerDeterministic(t *testing.T) {
+	var a, b Tuner
+	frontiers := []int{1 << 18, 1 << 16, 1 << 12, 700, 12}
+	for step, f := range frontiers {
+		edges := int64(f) * 11
+		retries := int64(f) / 10
+		ga := a.FrontierGrain(4, f, edges, retries)
+		gb := b.FrontierGrain(4, f, edges, retries)
+		if ga != gb {
+			t.Fatalf("step %d: grains diverge (%d vs %d)", step, ga, gb)
+		}
+		if ca, cb := a.EdgeParallelCutoff(4, edges), b.EdgeParallelCutoff(4, edges); ca != cb {
+			t.Fatalf("step %d: cutoffs diverge (%d vs %d)", step, ca, cb)
+		}
+		d := time.Duration(edges) * 7 // pretend 7ns/edge
+		a.Observe(edges, d)
+		b.Observe(edges, d)
+		if a.nsPerItemQ4 != b.nsPerItemQ4 {
+			t.Fatalf("step %d: EWMAs diverge (%d vs %d)", step, a.nsPerItemQ4, b.nsPerItemQ4)
+		}
+	}
+}
+
+func TestWorkersCapsAtNumCPU(t *testing.T) {
+	var tn Tuner
+	ncpu := runtime.NumCPU()
+	for _, p := range []int{1, 2, 4, ncpu, ncpu + 3, 64} {
+		got := tn.Workers(p)
+		want := p
+		if !raceEnabled && want > ncpu {
+			want = ncpu
+		}
+		if got != want {
+			t.Fatalf("Workers(%d) = %d, want %d (NumCPU=%d, race=%v)", p, got, want, ncpu, raceEnabled)
+		}
+		if got > p {
+			t.Fatalf("Workers(%d) = %d widened the requested bound", p, got)
+		}
+	}
+}

@@ -266,3 +266,27 @@ func TestSourceUint32(t *testing.T) {
 		t.Fatalf("Uint32 outputs look degenerate: %x", or)
 	}
 }
+
+func TestFastLogAccuracy(t *testing.T) {
+	// fastLog backs the exponential shift draws; verify it tracks math.Log
+	// to well under the documented 1e-7 relative error across the full
+	// range of inputs ExpFromUniform can produce, including the extremes.
+	check := func(x float64) {
+		got, want := fastLog(x), math.Log(x)
+		if x == 1 {
+			if got != 0 {
+				t.Fatalf("fastLog(1) = %v, want 0", got)
+			}
+			return
+		}
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-7 {
+			t.Fatalf("fastLog(%v) = %v, math.Log = %v, rel err %v", x, got, want, rel)
+		}
+	}
+	check(1)
+	check(1 - float64((uint64(1)<<53-1)>>11)/(1<<53)) // smallest 1-f
+	for i := uint64(0); i < 200000; i++ {
+		f := float64(Hash64(i)>>11) / (1 << 53)
+		check(1 - f)
+	}
+}

@@ -44,10 +44,23 @@ const searchUp = 3
 // Buffers released past the cap are dropped for the GC instead of pooled.
 const DefaultLimit = int64(1) << 30
 
+// smallClassMax is the largest capacity class (2^smallClassMax elements)
+// treated as "small": release stashes such buffers in a per-class one-slot
+// spare that skips the retained-bytes accounting and the limit check, and
+// acquire probes that slot before scanning the free lists. The recursion's
+// tiny tail levels (which now run serially, see parallel.Tuner.SerialLevel)
+// churn through many sub-2048-element buffers per level; their aggregate
+// bytes are noise next to the level-0 working set, so exempting them keeps
+// the fast path one probe and makes the cap a statement about big buffers
+// only.
+const smallClassMax = 11
+
 // bank holds the free buffers of one element type, indexed by
 // floor(log2(capacity)); every buffer in class d has capacity >= 2^d.
+// spare is the small-class one-slot stash (unused above smallClassMax).
 type bank[T any] struct {
-	free [numClasses][][]T
+	free  [numClasses][][]T
+	spare [smallClassMax + 1][]T
 }
 
 // classOf returns ceil(log2(n)) clamped to the class range: the lowest
@@ -117,6 +130,16 @@ func acquire[T any](a *Arena, b *bank[T], elemSize int64, n int) []T {
 	top := min(c+searchUp+1, numClasses)
 	a.mu.Lock()
 	for d := c; d < top; d++ {
+		// Small-class spare first: it holds the most recently released
+		// buffer of class d, unaccounted in retained.
+		if d <= smallClassMax {
+			if s := b.spare[d]; s != nil {
+				b.spare[d] = nil
+				a.mu.Unlock()
+				a.reused.Add(int64(cap(s)) * elemSize)
+				return s[:n]
+			}
+		}
 		if k := len(b.free[d]); k > 0 {
 			s := b.free[d][k-1]
 			b.free[d][k-1] = nil
@@ -150,6 +173,13 @@ func release[T any](a *Arena, b *bank[T], elemSize int64, s []T) {
 		d = numClasses - 1
 	}
 	a.mu.Lock()
+	if d <= smallClassMax && b.spare[d] == nil {
+		// Threshold-aware release: small buffers park in the spare slot,
+		// exempt from the retained cap (a full arena still recycles them).
+		b.spare[d] = s[:0]
+		a.mu.Unlock()
+		return
+	}
 	if a.retained+size > a.limit {
 		a.mu.Unlock()
 		return
@@ -189,7 +219,8 @@ func (a *Arena) Float64(n int) []float64 { return acquire(a, &a.f64, 8, n) }
 func (a *Arena) PutFloat64(s []float64) { release(a, &a.f64, 8, s) }
 
 // Retained returns the bytes currently held in the arena's free lists
-// (idle buffers only; outstanding acquisitions are unaccounted).
+// (idle buffers only; outstanding acquisitions and the small-class spare
+// slots are unaccounted).
 func (a *Arena) Retained() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -16,8 +16,10 @@ func TestRoundTripReuse(t *testing.T) {
 	}
 	s[0] = 42
 	a.PutInt32(s)
-	if a.Retained() == 0 {
-		t.Fatal("release retained nothing")
+	// Class 10 is small: the release parks in the spare slot, which is
+	// exempt from retained accounting.
+	if got := a.Retained(); got != 0 {
+		t.Fatalf("small release accounted %d retained bytes, want 0 (spare slot)", got)
 	}
 
 	// Same-size request: must reuse the pooled array, not allocate.
@@ -109,14 +111,41 @@ func TestRetainedLimit(t *testing.T) {
 	if got := a.Retained(); got != 0 {
 		t.Fatalf("over-limit release retained %d bytes, want 0", got)
 	}
-	small := a.Int32(256) // 1 KiB fits
-	a.PutInt32(small)
+	// Small buffers fill the one-slot spare (unaccounted) first; the second
+	// release of the same class lands in the free list and is accounted.
+	s1 := a.Int32(256)
+	s2 := a.Int32(256)
+	a.PutInt32(s1)
+	a.PutInt32(s2)
 	if got := a.Retained(); got != 1024 {
-		t.Fatalf("retained %d bytes, want 1024", got)
+		t.Fatalf("retained %d bytes, want 1024 (one 1 KiB buffer past the spare)", got)
 	}
 	a.Reset()
 	if a.Retained() != 0 {
 		t.Fatal("Reset did not clear retained bytes")
+	}
+}
+
+// TestSmallSpareBypassesLimit checks threshold-aware release: a small-class
+// buffer is recycled through the spare slot even when the arena is at its
+// retained cap, and the spare hands back the same backing array.
+func TestSmallSpareBypassesLimit(t *testing.T) {
+	a := NewLimit(64) // effectively full for any release
+	s := a.Int32(256)
+	a.PutInt32(s)
+	if got := a.Retained(); got != 0 {
+		t.Fatalf("spare release accounted %d bytes, want 0", got)
+	}
+	r := a.Int32(256)
+	if &r[0] != &s[0] {
+		t.Fatal("full arena did not recycle the small buffer through the spare")
+	}
+	// Reset drops the spare slots too.
+	a.PutInt32(r)
+	a.Reset()
+	q := a.Int32(256)
+	if &q[0] == &s[0] {
+		t.Fatal("Reset did not clear the spare slot")
 	}
 }
 
