@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-smoke speedup-smoke trace-smoke trace-regression vet check fmt fmt-check repro repro-quick examples clean
+.PHONY: all build test race race-short bench bench-smoke speedup-smoke trace-smoke trace-regression serve-smoke serve-regression vet check fmt fmt-check repro repro-quick examples clean
 
 all: check test build
 
@@ -59,6 +59,26 @@ trace-regression:
 # Refresh the committed trace-regression baseline (run on a quiet machine).
 testdata/trace-baseline-rmat14.jsonl:
 	$(GO) run ./cmd/connect -gen rmat -scale 14 -seed 42 -trace $@
+
+# Serving smoke: boot connserve on an ephemeral port, wait for the
+# readiness gate, probe each query endpoint, then run a short load burst
+# through the in-process serving benchmark.
+serve-smoke:
+	$(GO) test -run 'TestServeLifecycle' -count=1 ./cmd/connserve
+	$(GO) run ./cmd/bench -experiment serve -scale 0.02 -procs 2 -json /tmp/parconn-serve-smoke.json
+	$(GO) run ./cmd/tracestat serve /tmp/parconn-serve-smoke.json /tmp/parconn-serve-smoke.json
+
+# Re-measure serving QPS/latency and gate against the committed baseline.
+# Loose tolerance for the same reason as trace-regression: CI hosts differ
+# from the recording machine, so only order-of-magnitude serving blowups
+# should trip (tracestat serve's default 2x is for same-machine use).
+serve-regression:
+	$(GO) run ./cmd/bench -experiment serve -scale 0.1 -procs 2 -seed 42 -json /tmp/parconn-serve-regression.json
+	$(GO) run ./cmd/tracestat serve -tol 10 -floor 2ms BENCH_serve.json /tmp/parconn-serve-regression.json
+
+# Refresh the committed serving baseline (run on a quiet machine).
+BENCH_serve.json:
+	$(GO) run ./cmd/bench -experiment serve -scale 0.1 -procs 2 -seed 42 -json $@
 
 # parconnvet fails on active findings AND on stale //parconn:allow
 # suppressions (an allow that matches no finding is itself a finding).

@@ -410,6 +410,15 @@ func ComponentSizes(labels []int32) map[int32]int {
 	return graph.ComponentSizesOf(labels)
 }
 
+// ComponentSize is one component of a labeling: its label and vertex count.
+type ComponentSize = graph.ComponentSize
+
+// TopComponents returns the number of distinct components and the k largest
+// (size descending, ties by ascending label; k <= 0 returns all, sorted).
+func TopComponents(labels []int32, k int) (int, []ComponentSize) {
+	return graph.ComponentSummary(labels, k)
+}
+
 // CompactLabels rewrites a labeling into dense ids 0..k-1 (ordered by first
 // appearance) and returns the new labeling and k.
 func CompactLabels(labels []int32) ([]int32, int) {

@@ -10,19 +10,24 @@
 //	bench -experiment ablation            # design-choice ablations
 //	bench -experiment json                # machine-readable BENCH_parconn.json
 //	bench -experiment speedup -procs 1,2,4   # efficiency sweep, BENCH_speedup.json
+//	bench -experiment serve               # serving QPS/latency, BENCH_serve.json
 //	bench -experiment table2 -trace t.jsonl  # also record an observability trace
 //
-// Experiments: table1, table2, fig2..fig8, ablation, json, speedup, all.
+// Experiments: table1, table2, fig2..fig8, ablation, work, json, speedup,
+// serve, all.
 // See EXPERIMENTS.md for the mapping to the paper and the recorded runs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"parconn"
 	"parconn/internal/bench"
@@ -38,18 +43,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: table1,table2,fig2..fig8,ablation,all")
+		experiment = fs.String("experiment", "all", "experiment to run: table1,table2,fig2..fig8,ablation,work,json,speedup,serve,all")
 		scale      = fs.Float64("scale", 1.0, "input size multiplier (1.0 = harness defaults, ~100x below paper sizes)")
 		trials     = fs.Int("trials", 3, "trials per measurement; median reported")
 		procs      = fs.String("procs", "0", "max workers (0 = all cores); a comma list like 1,2,4 sets the speedup sweep")
 		threads    = fs.String("threads", "", "comma-separated worker counts for fig2 (default 1,2,4,...,procs)")
 		seed       = fs.Uint64("seed", 42, "random seed")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
-		jsonPath   = fs.String("json", "", "output path for -experiment json (default BENCH_parconn.json)")
+		jsonPath   = fs.String("json", "", "output path for the json/speedup/serve experiments (default BENCH_<experiment>.json)")
 		tracePath  = fs.String("trace", "", "write a JSONL observability trace of every timed run (perturbs timings)")
 		httpAddr   = fs.String("http", "", "serve /debug/parconn, /debug/vars, and /debug/pprof on this address while experiments run")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	// Validate the experiment name before any side effects (trace files,
+	// debug servers): a typo must exit with usage, not after creating an
+	// empty trace file or running for minutes.
+	names := bench.ExperimentNames()
+	valid := false
+	for _, n := range names {
+		if *experiment == n {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		fmt.Fprintf(stderr, "bench: unknown experiment %q\nusage: bench -experiment NAME\navailable: %s\n",
+			*experiment, strings.Join(names, " "))
 		return 2
 	}
 
@@ -100,12 +125,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *httpAddr != "" {
 		state := obshttp.NewState("cmd/bench", 0)
-		addr, err := obshttp.Serve(*httpAddr, state)
+		srv, err := obshttp.Serve(*httpAddr, state)
 		if err != nil {
 			fmt.Fprintf(stderr, "bench: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "debug server: http://%s/debug/parconn\n", addr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		fmt.Fprintf(stdout, "debug server: http://%s/debug/parconn\n", srv.Addr())
 		cfg.Recorder = parconn.MultiRecorder(cfg.Recorder, state.Recorder())
 	}
 	if *threads != "" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,8 +70,14 @@ func TestBenchTraceBadPath(t *testing.T) {
 
 func TestBenchErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-experiment", "bogus"}, &out, &errb); code == 0 {
-		t.Fatal("bogus experiment accepted")
+	if code := run([]string{"-experiment", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bogus experiment: exit=%d", code)
+	}
+	// The unknown name must fail upfront with usage, before any experiment
+	// (or side effect like a trace file) starts.
+	if msg := errb.String(); !strings.Contains(msg, `unknown experiment "bogus"`) ||
+		!strings.Contains(msg, "usage:") || !strings.Contains(msg, "table2") || !strings.Contains(msg, "serve") {
+		t.Fatalf("unknown-experiment message wrong:\n%s", msg)
 	}
 	if code := run([]string{"-threads", "x"}, &out, &errb); code == 0 {
 		t.Fatal("bad threads accepted")
@@ -80,5 +87,71 @@ func TestBenchErrors(t *testing.T) {
 	}
 	if code := run([]string{"-badflag"}, &out, &errb); code == 0 {
 		t.Fatal("bad flag accepted")
+	}
+	if code := run([]string{"-procs", "x"}, &out, &errb); code == 0 {
+		t.Fatal("bad procs accepted")
+	}
+}
+
+// TestBenchHelp pins -h as a successful exit: asking for usage is not an
+// error.
+func TestBenchHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h: exit=%d", code)
+	}
+	if !strings.Contains(errb.String(), "-experiment") {
+		t.Fatalf("usage missing:\n%s", errb.String())
+	}
+}
+
+// TestBenchUnknownExperimentNoTraceFile checks the fail-fast ordering: a
+// bad experiment name must not create the -trace output file.
+func TestBenchUnknownExperimentNoTraceFile(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "t.jsonl")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "bogus", "-trace", tracePath}, &out, &errb); code != 2 {
+		t.Fatalf("exit=%d", code)
+	}
+	if _, err := os.Stat(tracePath); err == nil {
+		t.Fatal("trace file created despite unknown experiment")
+	}
+}
+
+// TestBenchServeExperiment runs the serving benchmark end to end at smoke
+// scale and validates the written BENCH_serve.json.
+func TestBenchServeExperiment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-experiment", "serve", "-scale", "0.01", "-procs", "2", "-json", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Vertices int `json:"vertices"`
+		Results  []struct {
+			Workload string  `json:"workload"`
+			Requests int64   `json:"requests"`
+			QPS      float64 `json:"qps"`
+			P99NS    int64   `json:"p99_ns"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vertices <= 0 || len(rep.Results) != 4 {
+		t.Fatalf("report: vertices=%d results=%d", rep.Vertices, len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Requests <= 0 || r.QPS <= 0 || r.P99NS <= 0 {
+			t.Fatalf("workload %s: %+v", r.Workload, r)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Fatalf("summary missing:\n%s", out.String())
 	}
 }

@@ -16,11 +16,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"time"
 
 	"parconn"
@@ -105,12 +105,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *httpAddr != "" {
 		state := obshttp.NewState("cmd/connect", 0)
-		addr, err := obshttp.Serve(*httpAddr, state)
+		srv, err := obshttp.Serve(*httpAddr, state)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "debug server: http://%s/debug/parconn\n", addr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		fmt.Fprintf(stdout, "debug server: http://%s/debug/parconn\n", srv.Addr())
 		rec = parconn.MultiRecorder(rec, state.Recorder())
 	}
 
@@ -176,27 +181,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, "labeling verified")
 	}
-	sizes := parconn.ComponentSizes(labels)
-	fmt.Fprintf(stdout, "%s: %d components in %v\n", alg, len(sizes), elapsed)
-	type comp struct {
-		label int32
-		size  int
-	}
-	comps := make([]comp, 0, len(sizes))
-	for l, s := range sizes {
-		comps = append(comps, comp{l, s})
-	}
-	sort.Slice(comps, func(i, j int) bool {
-		if comps[i].size != comps[j].size {
-			return comps[i].size > comps[j].size
-		}
-		return comps[i].label < comps[j].label
-	})
-	for i, c := range comps {
-		if i >= *topK {
-			break
-		}
-		fmt.Fprintf(stdout, "  component %d: %d vertices (%.2f%%)\n", c.label, c.size, 100*float64(c.size)/float64(g.NumVertices()))
+	count, top := parconn.TopComponents(labels, *topK)
+	fmt.Fprintf(stdout, "%s: %d components in %v\n", alg, count, elapsed)
+	for _, c := range top {
+		fmt.Fprintf(stdout, "  component %d: %d vertices (%.2f%%)\n", c.Label, c.Size, 100*float64(c.Size)/float64(g.NumVertices()))
 	}
 
 	if *labelsOut != "" {

@@ -3,7 +3,6 @@ package main
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -246,9 +245,12 @@ func TestRunValidateTraceRejects(t *testing.T) {
 	}
 }
 
-// TestRunHTTPDebugServer runs a small job with -http and confirms the debug
-// endpoint reflects the completed run. The server has no shutdown (it lives
-// for the process), which is fine in a test binary.
+// TestRunHTTPDebugServer runs a small job with -http and confirms that the
+// debug server binds and announces its address, and — since the lifecycle
+// fix — that it is shut down again when run returns instead of leaking for
+// the rest of the process. (The endpoint's content is covered by the
+// obshttp package tests; here the run has already exited by the time we
+// could query it.)
 func TestRunHTTPDebugServer(t *testing.T) {
 	code, out, errb := runCapture(t, "-gen", "random", "-n", "2000", "-http", "127.0.0.1:0")
 	if code != 0 {
@@ -260,22 +262,10 @@ func TestRunHTTPDebugServer(t *testing.T) {
 		t.Fatalf("no debug server line:\n%s", out)
 	}
 	url := strings.TrimSpace(strings.SplitN(out[i+len("debug server: "):], "\n", 2)[0])
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var snap struct {
-		Tool     string `json:"tool"`
-		Progress struct {
-			RunsDone   int64 `json:"runs_done"`
-			Components int64 `json:"components"`
-		} `json:"progress"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	if snap.Tool != "cmd/connect" || snap.Progress.RunsDone != 1 || snap.Progress.Components == 0 {
-		t.Fatalf("snapshot %+v", snap)
+	c := &http.Client{Timeout: time.Second}
+	resp, err := c.Get(url)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("debug server still answering after run returned: %s", url)
 	}
 }

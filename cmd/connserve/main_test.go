@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run's stdout while run is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitFor polls cond until it returns true or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServeLifecycle boots the server on a random port, waits for
+// readiness, exercises the query and debug endpoints, then cancels the
+// context (the SIGINT/SIGTERM path) and checks the drain: exit code 0 and
+// the port closed afterwards.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	errb := &syncBuffer{}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-gen", "random", "-n", "2000", "-top", "3"}, out, errb)
+	}()
+
+	var base string
+	waitFor(t, 10*time.Second, "listen announcement", func() bool {
+		s := out.String()
+		i := strings.Index(s, "listening on http://")
+		if i < 0 {
+			return false
+		}
+		rest := s[i+len("listening on "):]
+		base = strings.TrimSpace(strings.SplitN(rest, " ", 2)[0])
+		return true
+	})
+	client := &http.Client{Timeout: 2 * time.Second}
+
+	waitFor(t, 20*time.Second, "readiness", func() bool {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// Point query.
+	resp, err := client.Get(base + "/v1/component?v=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comp struct {
+		V         int32 `json:"v"`
+		Component int32 `json:"component"`
+		Size      int   `json:"size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&comp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || comp.Size <= 0 {
+		t.Fatalf("component: status %d, %+v", resp.StatusCode, comp)
+	}
+
+	// Batch query.
+	resp, err = client.Post(base+"/v1/batch", "application/json", strings.NewReader("[[0,1],[1,0]]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+
+	// Stats reflects the generated graph and records endpoint latencies.
+	resp, err = client.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Vertices  int    `json:"vertices"`
+		Algorithm string `json:"algorithm"`
+		Source    string `json:"source"`
+		Endpoints map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Vertices != 2000 || !strings.Contains(st.Source, "random") {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Endpoints["component"].Count != 1 || st.Endpoints["batch"].Count != 1 {
+		t.Fatalf("endpoint counts: %+v", st.Endpoints)
+	}
+
+	// The debug mux is mounted alongside /v1.
+	resp, err = client.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug vars: status %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown: cancel the context, run must drain and return 0,
+	// and the port must stop answering.
+	cancel()
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("run exit=%d stderr=%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after context cancel")
+	}
+	if resp, err := client.Get(base + "/v1/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatalf("server still answering after shutdown: %s", base)
+	}
+	if !strings.Contains(out.String(), "draining in-flight requests") {
+		t.Fatalf("no drain announcement:\n%s", out.String())
+	}
+}
+
+// TestRunErrors pins the fail-fast paths: all must exit non-zero without
+// binding a long-lived server.
+func TestRunErrors(t *testing.T) {
+	runErr := func(args ...string) (int, string) {
+		var out, errb bytes.Buffer
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		code := run(ctx, args, &out, &errb)
+		return code, errb.String()
+	}
+	if code, _ := runErr("-badflag"); code != 2 {
+		t.Fatalf("bad flag: exit=%d", code)
+	}
+	if code, errb := runErr(); code != 2 || !strings.Contains(errb, "need -in FILE or -gen NAME") {
+		t.Fatalf("no input: exit=%d stderr=%s", code, errb)
+	}
+	if code, errb := runErr("-gen", "random", "-algorithm", "bogus"); code != 2 || !strings.Contains(errb, "available:") {
+		t.Fatalf("bogus algorithm: exit=%d stderr=%s", code, errb)
+	}
+	if code, _ := runErr("-addr", "127.0.0.1:0", "-gen", "bogus"); code != 2 {
+		t.Fatalf("bogus generator: exit=%d", code)
+	}
+	if code, _ := runErr("-addr", "127.0.0.1:0", "-in", "/nonexistent/file"); code != 2 {
+		t.Fatalf("missing file: exit=%d", code)
+	}
+	if code, _ := runErr("-gen", "line", "-n", "10", "-addr", "256.256.256.256:1"); code != 2 {
+		t.Fatalf("bad addr: exit=%d", code)
+	}
+}
+
+// TestShutdownWhileDrainingInFlight starts a slow batch request and then
+// cancels the server; the request must complete (drained), not be cut off.
+func TestShutdownWhileDrainingInFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-gen", "line", "-n", "1000"}, out, io.Discard)
+	}()
+	var base string
+	waitFor(t, 10*time.Second, "listen announcement", func() bool {
+		s := out.String()
+		i := strings.Index(s, "listening on http://")
+		if i < 0 {
+			return false
+		}
+		base = strings.TrimSpace(strings.SplitN(s[i+len("listening on "):], " ", 2)[0])
+		return true
+	})
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitFor(t, 20*time.Second, "readiness", func() bool {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// Post a batch whose body arrives through a pipe, with Expect:
+	// 100-continue so the transport only reads the pipe after the server's
+	// handler started reading the body. Once the first write unblocks, the
+	// request is provably active server-side; only then cancel the server.
+	// Shutdown must drain the request to a 200, not abort it.
+	pr, pw := io.Pipe()
+	postClient := &http.Client{
+		Transport: &http.Transport{ExpectContinueTimeout: 10 * time.Second},
+		Timeout:   10 * time.Second,
+	}
+	defer postClient.CloseIdleConnections()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/batch", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Expect", "100-continue")
+	done := make(chan error, 1)
+	go func() {
+		resp, err := postClient.Do(req)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		done <- nil
+	}()
+	if _, err := pw.Write([]byte("[[0,1]")); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Give Shutdown a moment to close the listener while the request is
+	// still open, then finish the body.
+	time.Sleep(100 * time.Millisecond)
+	if _, err := pw.Write([]byte(",[1,2]]")); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request: %v", err)
+	}
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("run exit=%d", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return")
+	}
+}

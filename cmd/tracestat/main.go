@@ -52,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDiff(args[1:], stdout, stderr)
 	case "speedup":
 		return runSpeedup(args[1:], stdout, stderr)
+	case "serve":
+		return runServe(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "tracestat: unknown subcommand %q\n", args[0])
 		usage(stderr)
@@ -64,10 +66,14 @@ func usage(w io.Writer) {
   tracestat summary TRACE.jsonl
   tracestat diff [-tol N] [-floor DUR] [-input NAME] BASE NEW.jsonl
   tracestat speedup [-algorithm NAME] [-efficiency-floor F] BENCH_speedup.json
+  tracestat serve [-tol N] [-floor DUR] BASE_serve.json NEW_serve.json
 
 BASE is either a JSONL trace or a BENCH_parconn.json benchmark report
 (detected by shape). Speedup gates a cmd/bench -experiment speedup report:
-every point of the gated algorithm must reach the efficiency floor.
+every point of the gated algorithm must reach the efficiency floor. Serve
+diffs two cmd/bench -experiment serve reports per workload: latency
+quantiles regress past base*tol (above the floor), QPS regresses below
+base/tol.
 `)
 }
 
@@ -528,6 +534,155 @@ func runSpeedup(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "tracestat: %s holds efficiency >= %.2f at all %d swept setting(s)\n", *alg, *floor, gated)
+	return 0
+}
+
+// serveReport mirrors the subset of internal/bench's BENCH_serve.json
+// schema this tool gates on (local for the same reason as benchBaseline).
+type serveReport struct {
+	Env     parconn.Env `json:"env"`
+	Results []struct {
+		Workload string  `json:"workload"`
+		Requests int64   `json:"requests"`
+		Errors   int64   `json:"errors"`
+		QPS      float64 `json:"qps"`
+		P50NS    int64   `json:"p50_ns"`
+		P95NS    int64   `json:"p95_ns"`
+		P99NS    int64   `json:"p99_ns"`
+	} `json:"results"`
+}
+
+func loadServeReport(path string) (serveReport, error) {
+	var rep serveReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil || len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: not a serve report", path)
+	}
+	for _, r := range rep.Results {
+		if r.Workload == "" {
+			return rep, fmt.Errorf("%s: not a serve report (result without workload)", path)
+		}
+	}
+	return rep, nil
+}
+
+// runServe diffs two serving benchmark reports (cmd/bench -experiment
+// serve) per workload. A latency quantile regresses when the new value
+// exceeds base*tol AND the absolute increase exceeds the floor; QPS
+// regresses when the new value drops below base/tol. Tail quantiles of a
+// loaded HTTP server are noisy, so CI should pass a loose -tol.
+func runServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tol   = fs.Float64("tol", 2.0, "regression threshold: latency new > base*tol, QPS new < base/tol")
+		floor = fs.Duration("floor", 200*time.Microsecond, "ignore latency regressions whose absolute increase is below this duration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		usage(stderr)
+		return 2
+	}
+	if *tol <= 1 {
+		fmt.Fprintln(stderr, "tracestat: -tol must be greater than 1")
+		return 2
+	}
+	base, err := loadServeReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	cur, err := loadServeReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	if diffs := base.Env.Mismatch(cur.Env); len(diffs) > 0 {
+		fmt.Fprintf(stderr, "tracestat: WARNING: environment mismatch (throughput not directly comparable): %s\n",
+			strings.Join(diffs, "; "))
+	}
+
+	type row struct{ base, cur int }
+	byWorkload := map[string]*row{}
+	for i, r := range base.Results {
+		byWorkload[r.Workload] = &row{base: i, cur: -1}
+	}
+	for i, r := range cur.Results {
+		if w := byWorkload[r.Workload]; w != nil {
+			w.cur = i
+		} else {
+			byWorkload[r.Workload] = &row{base: -1, cur: i}
+		}
+	}
+	names := make([]string, 0, len(byWorkload))
+	for w := range byWorkload {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	compared := 0
+	fmt.Fprintf(stdout, "%-8s %-6s %12s %12s %8s\n", "workload", "metric", "base", "new", "ratio")
+	for _, name := range names {
+		w := byWorkload[name]
+		if w.base < 0 || w.cur < 0 {
+			fmt.Fprintf(stdout, "%-8s %-6s %12s %12s %8s  (missing on one side)\n", name, "-", "-", "-", "-")
+			continue
+		}
+		b, c := base.Results[w.base], cur.Results[w.cur]
+		compared++
+		lat := []struct {
+			metric string
+			baseNS int64
+			curNS  int64
+		}{
+			{"p50", b.P50NS, c.P50NS},
+			{"p95", b.P95NS, c.P95NS},
+			{"p99", b.P99NS, c.P99NS},
+		}
+		for _, l := range lat {
+			verdict := "ok"
+			if l.curNS > int64(float64(l.baseNS)**tol) && l.curNS-l.baseNS > floor.Nanoseconds() {
+				regressions++
+				verdict = fmt.Sprintf("REGRESSION (+%v > %v floor)", roundDur(time.Duration(l.curNS-l.baseNS)), *floor)
+			}
+			ratio := 0.0
+			if l.baseNS > 0 {
+				ratio = float64(l.curNS) / float64(l.baseNS)
+			}
+			fmt.Fprintf(stdout, "%-8s %-6s %12v %12v %7.2fx  %s\n",
+				name, l.metric, roundDur(time.Duration(l.baseNS)), roundDur(time.Duration(l.curNS)), ratio, verdict)
+		}
+		verdict := "ok"
+		if c.QPS < b.QPS / *tol {
+			regressions++
+			verdict = fmt.Sprintf("REGRESSION (below base/%.2f)", *tol)
+		}
+		ratio := 0.0
+		if b.QPS > 0 {
+			ratio = c.QPS / b.QPS
+		}
+		fmt.Fprintf(stdout, "%-8s %-6s %12.0f %12.0f %7.2fx  %s\n", name, "qps", b.QPS, c.QPS, ratio, verdict)
+		if c.Errors > 0 && b.Errors == 0 {
+			regressions++
+			fmt.Fprintf(stdout, "%-8s %-6s %12d %12d %8s  REGRESSION (new errors)\n", name, "errors", b.Errors, c.Errors, "-")
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(stderr, "tracestat: no workload exists on both sides; nothing compared")
+		return 2
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "tracestat: %d serving regression(s) (tolerance %.2fx, floor %v)\n", regressions, *tol, *floor)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tracestat: no serving regressions across %d workload(s) (tolerance %.2fx, floor %v)\n",
+		compared, *tol, *floor)
 	return 0
 }
 

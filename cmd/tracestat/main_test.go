@@ -306,3 +306,119 @@ func TestSpeedupGateTripsBelowFloor(t *testing.T) {
 		t.Errorf("unknown algorithm: exit=%d, want 2", code)
 	}
 }
+
+// writeServeReport synthesizes a BENCH_serve.json-shaped report for the
+// serve gate tests.
+func writeServeReport(t *testing.T, path string, qps float64, p99 int64, errs int64) {
+	t.Helper()
+	rep := map[string]any{
+		"go_version": "go-test",
+		"gomaxprocs": 2,
+		"env":        parconn.CaptureEnv(),
+		"results": []map[string]any{
+			{"workload": "point", "concurrency": 2, "requests": 1000, "errors": errs,
+				"qps": qps, "p50_ns": p99 / 4, "p95_ns": p99 / 2, "p99_ns": p99, "max_ns": p99 * 2},
+			{"workload": "batch", "concurrency": 2, "requests": 500, "errors": 0,
+				"qps": qps / 4, "p50_ns": p99, "p95_ns": 2 * p99, "p99_ns": 3 * p99, "max_ns": 4 * p99},
+		},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeGateIdenticalPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeServeReport(t, base, 50000, 1_000_000, 0)
+	code, out, errb := runCapture(t, "serve", base, base)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	if !strings.Contains(out, "no serving regressions") {
+		t.Fatalf("output wrong:\n%s", out)
+	}
+}
+
+func TestServeGateTripsOnLatency(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeServeReport(t, base, 50000, 1_000_000, 0)
+	writeServeReport(t, cur, 50000, 5_000_000, 0) // p99 5x slower
+	code, out, _ := runCapture(t, "serve", "-tol", "2", base, cur)
+	if code != 1 {
+		t.Fatalf("exit=%d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("no regression flagged:\n%s", out)
+	}
+	// A loose enough tolerance passes the same pair.
+	if code, out, _ := runCapture(t, "serve", "-tol", "20", base, cur); code != 0 {
+		t.Fatalf("tol=20 exit=%d:\n%s", code, out)
+	}
+}
+
+func TestServeGateTripsOnQPSDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeServeReport(t, base, 50000, 1_000_000, 0)
+	writeServeReport(t, cur, 10000, 1_000_000, 0) // 5x throughput drop
+	code, out, _ := runCapture(t, "serve", "-tol", "2", base, cur)
+	if code != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("exit=%d:\n%s", code, out)
+	}
+}
+
+func TestServeGateFloorSuppressesTinyLatency(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	// 10x latency regression, but in absolute terms at most ~135us (batch
+	// p99): below the 200us default floor. QPS unchanged.
+	writeServeReport(t, base, 50000, 5_000, 0)
+	writeServeReport(t, cur, 50000, 50_000, 0)
+	code, out, _ := runCapture(t, "serve", "-tol", "2", base, cur)
+	if code != 0 {
+		t.Fatalf("exit=%d:\n%s", code, out)
+	}
+}
+
+func TestServeGateTripsOnNewErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeServeReport(t, base, 50000, 1_000_000, 0)
+	writeServeReport(t, cur, 50000, 1_000_000, 25)
+	code, out, _ := runCapture(t, "serve", base, cur)
+	if code != 1 || !strings.Contains(out, "new errors") {
+		t.Fatalf("exit=%d:\n%s", code, out)
+	}
+}
+
+func TestServeGateUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeServeReport(t, base, 50000, 1_000_000, 0)
+	if code, _, _ := runCapture(t, "serve", base); code != 2 {
+		t.Fatal("one-arg serve accepted")
+	}
+	if code, _, _ := runCapture(t, "serve", "-tol", "0.5", base, base); code != 2 {
+		t.Fatal("tol <= 1 accepted")
+	}
+	if code, _, _ := runCapture(t, "serve", "/nonexistent.json", base); code != 2 {
+		t.Fatal("missing baseline accepted")
+	}
+	notServe := filepath.Join(dir, "not.json")
+	if err := os.WriteFile(notServe, []byte(`{"results":[{"input":"rMat"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errb := runCapture(t, "serve", notServe, base); code != 2 || !strings.Contains(errb, "not a serve report") {
+		t.Fatalf("non-serve report accepted: exit=%d stderr=%s", code, errb)
+	}
+}

@@ -375,10 +375,27 @@ var Experiments = []struct {
 	{"work", Work},
 }
 
-// Run executes the named experiment ("all" runs every one in order; "json"
-// runs the machine-readable benchmark grid, which is kept out of "all"
-// because it writes a file next to the tables).
+// ExperimentNames returns every name Run accepts, in display order: the
+// paper experiments, then the file-writing experiments and "all".
+func ExperimentNames() []string {
+	names := make([]string, 0, len(Experiments)+4)
+	for _, e := range Experiments {
+		names = append(names, e.Name)
+	}
+	return append(names, "json", "speedup", "serve", "all")
+}
+
+// Run executes the named experiment ("all" runs every one in order; "json",
+// "speedup", and "serve" run the machine-readable benchmarks, which are
+// kept out of "all" because they write files next to the tables).
 func Run(name string, cfg Config) error {
+	if name == "serve" {
+		path := cfg.JSONPath
+		if path == "" {
+			path = "BENCH_serve.json"
+		}
+		return WriteServe(cfg, path)
+	}
 	if name == "json" {
 		path := cfg.JSONPath
 		if path == "" {

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"parconn"
+	"parconn/internal/bench/serveload"
+	"parconn/internal/obs/obshttp"
+	"parconn/internal/serve"
+)
+
+// ServeReport is the top-level schema of BENCH_serve.json: the serving
+// stack's throughput and latency quantiles per workload, over real loopback
+// HTTP. Env lets cmd/tracestat flag cross-machine comparisons.
+type ServeReport struct {
+	GoVersion   string             `json:"go_version"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Env         parconn.Env        `json:"env"`
+	Scale       float64            `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Vertices    int                `json:"vertices"`
+	Edges       int64              `json:"edges"`
+	Algorithm   string             `json:"algorithm"`
+	Concurrency int                `json:"concurrency"`
+	Results     []serveload.Result `json:"results"`
+}
+
+// serveWindows derives the measurement windows from the harness scale: long
+// enough at scale 1 for stable quantiles, short enough at smoke scales that
+// CI stays fast.
+func serveWindows(scale float64) (warmup, duration time.Duration) {
+	duration = time.Duration(float64(time.Second) * scale)
+	if duration < 150*time.Millisecond {
+		duration = 150 * time.Millisecond
+	}
+	if duration > 5*time.Second {
+		duration = 5 * time.Second
+	}
+	warmup = duration / 5
+	return warmup, duration
+}
+
+// ServeLoadReport boots the connectivity service in-process on a loopback
+// port, labels the harness's random input, and drives every serveload
+// workload against it.
+func ServeLoadReport(cfg Config) (ServeReport, error) {
+	cfg = cfg.withDefaults()
+	in, err := InputByName("random")
+	if err != nil {
+		return ServeReport{}, err
+	}
+	g := in.Make(cfg.Scale)
+	alg := parconn.DecompArbHybrid
+	labelStart := time.Now()
+	labels, err := parconn.ConnectedComponents(g, parconn.Options{
+		Algorithm: alg, Procs: cfg.Procs, Seed: cfg.Seed, Recorder: cfg.Recorder,
+	})
+	if err != nil {
+		return ServeReport{}, err
+	}
+	labelTime := time.Since(labelStart)
+
+	sv := serve.New(serve.Config{})
+	sv.Publish(serve.Labeling{
+		Labels:    labels,
+		Edges:     int64(g.NumEdges()),
+		Algorithm: alg.String(),
+		Source:    fmt.Sprintf("bench:random(scale=%.3g)", cfg.Scale),
+		LabelTime: labelTime,
+	})
+	srv, err := obshttp.ServeHandler("127.0.0.1:0", sv.Handler())
+	if err != nil {
+		return ServeReport{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	warmup, duration := serveWindows(cfg.Scale)
+	rep := ServeReport{
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Env:         parconn.CaptureEnv(),
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Vertices:    g.NumVertices(),
+		Edges:       int64(g.NumEdges()),
+		Algorithm:   alg.String(),
+		Concurrency: cfg.Procs,
+	}
+	for _, w := range serveload.Workloads {
+		res, err := serveload.Run(serveload.Config{
+			BaseURL:     "http://" + srv.Addr().String(),
+			Workload:    w,
+			Concurrency: cfg.Procs,
+			Warmup:      warmup,
+			Duration:    duration,
+			Vertices:    g.NumVertices(),
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return ServeReport{}, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// WriteServe runs ServeLoadReport, echoes one summary line per workload to
+// cfg.Out, and writes the report to path.
+func WriteServe(cfg Config, path string) error {
+	cfg = cfg.withDefaults()
+	rep, err := ServeLoadReport(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(cfg.Out, "%-6s c=%-3d %9.0f qps   p50 %8s  p95 %8s  p99 %8s  (%d reqs, %d errs)\n",
+			r.Workload, r.Concurrency, r.QPS,
+			time.Duration(r.P50NS), time.Duration(r.P95NS), time.Duration(r.P99NS),
+			r.Requests, r.Errors)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	fmt.Fprintf(cfg.Out, "wrote %s (%d workloads)\n", path, len(rep.Results))
+	return nil
+}

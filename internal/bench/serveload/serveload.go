@@ -1,0 +1,251 @@
+// Package serveload is the workload generator for the connectivity service
+// (internal/serve, cmd/connserve): it drives an already-running server over
+// HTTP with a configurable mix of point, pair, batch, and skewed queries
+// and reports throughput and latency quantiles.
+//
+// Key generation is deterministic: each worker derives its own prand stream
+// by splitting the run seed with the worker index, so a given (seed,
+// concurrency, workload) triple replays the identical request sequence —
+// the same discipline the rest of the benchmark harness uses for graph
+// generation.
+package serveload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parconn/internal/obs"
+	"parconn/internal/prand"
+)
+
+// Workloads lists the supported workload names in reporting order.
+var Workloads = []string{WorkloadPoint, WorkloadPair, WorkloadBatch, WorkloadHot}
+
+const (
+	// WorkloadPoint issues GET /v1/component with uniform random vertices.
+	WorkloadPoint = "point"
+	// WorkloadPair issues GET /v1/same with uniform random vertex pairs.
+	WorkloadPair = "pair"
+	// WorkloadBatch issues POST /v1/batch with BatchSize random pairs.
+	WorkloadBatch = "batch"
+	// WorkloadHot issues GET /v1/component with a skewed distribution:
+	// HotFraction of requests hit a small hot vertex set (cache-friendly,
+	// contended), the rest are uniform.
+	WorkloadHot = "hot"
+)
+
+// Config drives one load run against a serving endpoint.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workload is one of the Workload* names.
+	Workload string
+	// Concurrency is the number of closed-loop workers (0 = 1).
+	Concurrency int
+	// Warmup runs the workload without recording first (0 = none): connection
+	// pools fill and the server JIT-warms before measurement starts.
+	Warmup time.Duration
+	// Duration is the measured window (0 = 1s).
+	Duration time.Duration
+	// Vertices is the server's vertex count; generated keys are in [0, Vertices).
+	Vertices int
+	// BatchSize is pairs per batch request (0 = 64); batch workload only.
+	BatchSize int
+	// HotFraction is the share of hot-set requests (0 = 0.9); hot workload only.
+	HotFraction float64
+	// HotSet is the hot-set size (0 = 16); hot workload only.
+	HotSet int
+	// Seed drives key generation; worker i uses the stream Split(i).
+	Seed uint64
+	// Client, when non-nil, overrides the pooled HTTP client.
+	Client *http.Client
+}
+
+// Result is the measured outcome of one load run, JSON-shaped for
+// BENCH_serve.json.
+type Result struct {
+	Workload    string  `json:"workload"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	QPS         float64 `json:"qps"`
+	MeanNS      int64   `json:"mean_ns"`
+	P50NS       int64   `json:"p50_ns"`
+	P95NS       int64   `json:"p95_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	MaxNS       int64   `json:"max_ns"`
+}
+
+func (c Config) withDefaults() (Config, error) {
+	ok := false
+	for _, w := range Workloads {
+		if c.Workload == w {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return c, fmt.Errorf("serveload: unknown workload %q (have %v)", c.Workload, Workloads)
+	}
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("serveload: Config.BaseURL is empty")
+	}
+	if c.Vertices <= 0 {
+		return c, fmt.Errorf("serveload: Config.Vertices must be positive")
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.HotFraction <= 0 || c.HotFraction > 1 {
+		c.HotFraction = 0.9
+	}
+	if c.HotSet <= 0 {
+		c.HotSet = 16
+	}
+	if c.HotSet > c.Vertices {
+		c.HotSet = c.Vertices
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        c.Concurrency + 4,
+				MaxIdleConnsPerHost: c.Concurrency + 4,
+				IdleConnTimeout:     30 * time.Second,
+			},
+			Timeout: 30 * time.Second,
+		}
+	}
+	return c, nil
+}
+
+// worker is one closed-loop load generator: it owns a prand stream and a
+// scratch buffer and issues requests back-to-back until told to stop.
+type worker struct {
+	cfg  Config
+	src  *prand.Source
+	buf  bytes.Buffer
+	hist *obs.Histogram // shared, wait-free
+}
+
+// op issues one request and returns whether it succeeded (2xx).
+func (w *worker) op() bool {
+	var (
+		resp *http.Response
+		err  error
+	)
+	switch w.cfg.Workload {
+	case WorkloadPoint:
+		resp, err = w.cfg.Client.Get(w.cfg.BaseURL + "/v1/component?v=" + strconv.Itoa(w.src.Intn(w.cfg.Vertices)))
+	case WorkloadPair:
+		u, v := w.src.Intn(w.cfg.Vertices), w.src.Intn(w.cfg.Vertices)
+		resp, err = w.cfg.Client.Get(w.cfg.BaseURL + "/v1/same?u=" + strconv.Itoa(u) + "&v=" + strconv.Itoa(v))
+	case WorkloadBatch:
+		w.buf.Reset()
+		w.buf.WriteByte('[')
+		for i := 0; i < w.cfg.BatchSize; i++ {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			fmt.Fprintf(&w.buf, "[%d,%d]", w.src.Intn(w.cfg.Vertices), w.src.Intn(w.cfg.Vertices))
+		}
+		w.buf.WriteByte(']')
+		resp, err = w.cfg.Client.Post(w.cfg.BaseURL+"/v1/batch", "application/json", bytes.NewReader(w.buf.Bytes()))
+	case WorkloadHot:
+		v := w.src.Intn(w.cfg.Vertices)
+		if w.src.Float64() < w.cfg.HotFraction {
+			// The hot set is the first HotSet vertices hashed through the
+			// seed so it is stable per run but not always {0..15}.
+			v = int(prand.Hash64(w.cfg.Seed+uint64(w.src.Intn(w.cfg.HotSet))) % uint64(w.cfg.Vertices))
+		}
+		resp, err = w.cfg.Client.Get(w.cfg.BaseURL + "/v1/component?v=" + strconv.Itoa(v))
+	}
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Run executes the configured workload and reports throughput and latency.
+// Warmup requests are issued but not recorded.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+
+	var (
+		hist      obs.Histogram
+		requests  atomic.Int64
+		errors    atomic.Int64
+		recording atomic.Bool
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	root := prand.New(cfg.Seed)
+	for i := 0; i < cfg.Concurrency; i++ {
+		w := &worker{cfg: cfg, src: root.Split(uint64(i)), hist: &hist}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				start := time.Now()
+				ok := w.op()
+				if !recording.Load() {
+					continue
+				}
+				if ok {
+					requests.Add(1)
+					w.hist.Record(time.Since(start).Nanoseconds())
+				} else {
+					errors.Add(1)
+				}
+			}
+		}()
+	}
+
+	if cfg.Warmup > 0 {
+		time.Sleep(cfg.Warmup)
+	}
+	measureStart := time.Now()
+	recording.Store(true)
+	time.Sleep(cfg.Duration)
+	recording.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	cfg.Client.CloseIdleConnections()
+
+	snap := hist.Snapshot()
+	res := Result{
+		Workload:    cfg.Workload,
+		Concurrency: cfg.Concurrency,
+		DurationSec: elapsed.Seconds(),
+		Requests:    requests.Load(),
+		Errors:      errors.Load(),
+		QPS:         float64(requests.Load()) / elapsed.Seconds(),
+		MeanNS:      int64(snap.Mean()),
+		P50NS:       snap.Quantile(0.50),
+		P95NS:       snap.Quantile(0.95),
+		P99NS:       snap.Quantile(0.99),
+		MaxNS:       snap.Max,
+	}
+	if res.Requests == 0 && res.Errors > 0 {
+		return res, fmt.Errorf("serveload: %s: all %d requests failed", cfg.Workload, res.Errors)
+	}
+	return res, nil
+}

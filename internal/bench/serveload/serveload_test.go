@@ -1,0 +1,110 @@
+package serveload
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"parconn/internal/prand"
+	"parconn/internal/serve"
+)
+
+// testServer publishes a 100-vertex two-component labeling behind a real
+// HTTP listener, the same stack serveload targets in production.
+func testServer(t *testing.T) (*httptest.Server, int) {
+	t.Helper()
+	const n = 100
+	labels := make([]int32, n)
+	for i := range labels {
+		if i >= n/2 {
+			labels[i] = n / 2
+		}
+	}
+	sv := serve.New(serve.Config{})
+	sv.Publish(serve.Labeling{Labels: labels, Edges: int64(n) - 2, Algorithm: "test", Source: "test"})
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, n
+}
+
+func TestRunEveryWorkload(t *testing.T) {
+	ts, n := testServer(t)
+	for _, w := range Workloads {
+		res, err := Run(Config{
+			BaseURL:     ts.URL,
+			Workload:    w,
+			Concurrency: 4,
+			Warmup:      20 * time.Millisecond,
+			Duration:    100 * time.Millisecond,
+			Vertices:    n,
+			BatchSize:   8,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if res.Workload != w || res.Concurrency != 4 {
+			t.Fatalf("%s: result meta %+v", w, res)
+		}
+		if res.Requests == 0 {
+			t.Fatalf("%s: no requests completed", w)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%s: %d errors", w, res.Errors)
+		}
+		if res.QPS <= 0 || res.DurationSec <= 0 {
+			t.Fatalf("%s: qps %.1f duration %.3f", w, res.QPS, res.DurationSec)
+		}
+		if res.P50NS <= 0 || res.P95NS < res.P50NS || res.P99NS < res.P95NS || res.MaxNS < res.P99NS {
+			t.Fatalf("%s: non-monotone quantiles %+v", w, res)
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://x", Workload: "bogus", Vertices: 10}); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("bogus workload: %v", err)
+	}
+	if _, err := Run(Config{Workload: WorkloadPoint, Vertices: 10}); err == nil {
+		t.Fatal("empty BaseURL accepted")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Workload: WorkloadPoint}); err == nil {
+		t.Fatal("zero Vertices accepted")
+	}
+}
+
+// TestRunAllErrors checks that a dead endpoint is an error, not a report of
+// zero QPS.
+func TestRunAllErrors(t *testing.T) {
+	ts, n := testServer(t)
+	url := ts.URL
+	ts.Close()
+	_, err := Run(Config{
+		BaseURL:  url,
+		Workload: WorkloadPoint,
+		Duration: 50 * time.Millisecond,
+		Vertices: n,
+		Seed:     1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "requests failed") {
+		t.Fatalf("dead endpoint: %v", err)
+	}
+}
+
+// TestDeterministicKeys pins the split-stream discipline Run relies on:
+// worker i's stream is Split(i) of the run seed, so the same seed replays
+// the same per-worker key sequence and different seeds diverge.
+func TestDeterministicKeys(t *testing.T) {
+	for i := uint64(0); i < 4; i++ {
+		a := prand.New(42).Split(i).Uint64()
+		b := prand.New(42).Split(i).Uint64()
+		c := prand.New(43).Split(i).Uint64()
+		if a != b {
+			t.Fatalf("worker %d: same seed diverged: %d vs %d", i, a, b)
+		}
+		if a == c {
+			t.Fatalf("worker %d: different seeds collided", i)
+		}
+	}
+}

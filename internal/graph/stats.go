@@ -88,3 +88,33 @@ func (s Stats) String() string {
 		s.Vertices, s.UndirectedEdges, s.MinDegree, s.MedianDegree, s.AvgDegree, s.MaxDegree,
 		s.Isolated, s.Components, s.LargestComp, s.ApproxDiameter)
 }
+
+// ComponentSize is one component of a labeling: its label and vertex count.
+type ComponentSize struct {
+	Label int32 `json:"label"`
+	Size  int   `json:"size"`
+}
+
+// ComponentSummary scans a labeling once and returns the number of distinct
+// components and the k largest (size descending, ties by ascending label,
+// so the answer is deterministic). k <= 0 returns every component, sorted.
+// This is the shared read side of a published labeling: cmd/connect's
+// report and cmd/connserve's /v1/stats both render it.
+func ComponentSummary(labels []int32, k int) (count int, top []ComponentSize) {
+	sizes := ComponentSizesOf(labels)
+	count = len(sizes)
+	top = make([]ComponentSize, 0, count)
+	for l, s := range sizes {
+		top = append(top, ComponentSize{Label: l, Size: s})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Size != top[j].Size {
+			return top[i].Size > top[j].Size
+		}
+		return top[i].Label < top[j].Label
+	})
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	return count, top
+}

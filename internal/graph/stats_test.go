@@ -154,3 +154,23 @@ func TestVerifyLabelingRejectsWrong(t *testing.T) {
 		t.Fatal("merged components accepted")
 	}
 }
+
+func TestComponentSummary(t *testing.T) {
+	labels := []int32{7, 7, 7, 2, 2, 9, 9, 9, 4}
+	count, top := ComponentSummary(labels, 2)
+	if count != 4 {
+		t.Fatalf("count = %d want 4", count)
+	}
+	want := []ComponentSize{{Label: 7, Size: 3}, {Label: 9, Size: 3}}
+	if len(top) != 2 || top[0] != want[0] || top[1] != want[1] {
+		t.Fatalf("top = %+v want %+v (size desc, ties by label asc)", top, want)
+	}
+	// k <= 0 returns every component, still sorted.
+	count, all := ComponentSummary(labels, 0)
+	if count != 4 || len(all) != 4 || all[3] != (ComponentSize{Label: 4, Size: 1}) {
+		t.Fatalf("all = %+v", all)
+	}
+	if c, top := ComponentSummary(nil, 3); c != 0 || len(top) != 0 {
+		t.Fatalf("empty labeling: %d %+v", c, top)
+	}
+}

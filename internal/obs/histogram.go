@@ -52,10 +52,14 @@ func BucketBounds(i int) (lo, hi int64) {
 }
 
 // Record adds one sample. Negative samples are clamped to zero (durations
-// from a non-monotonic clock step; they are noise, not data).
+// from a non-monotonic clock step; they are noise, not data), and MaxInt64
+// is clamped one below so the min tracker's v+1 encoding cannot overflow.
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
+	}
+	if v == math.MaxInt64 {
+		v--
 	}
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
@@ -166,8 +170,11 @@ func (s HistogramSnapshot) Mean() float64 {
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
 // interpolating geometrically inside the holding bucket and clamping to the
-// observed min/max. Log-spaced buckets make the estimate exact to within a
-// factor of 2, which is the histogram's design resolution.
+// bucket's half-open range and then to the observed min/max. Log-spaced
+// buckets make the estimate exact to within a factor of 2, which is the
+// histogram's design resolution; a single-sample snapshot and a
+// single-bucket snapshot whose bucket holds both Min and Max collapse to
+// exact answers through the clamps.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
@@ -182,14 +189,29 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	var seen float64
 	for _, b := range s.Buckets {
 		seen += float64(b.Count)
-		if seen >= rank {
-			// Geometric midpoint-ish interpolation: position within the
-			// bucket by remaining rank fraction, on a log scale.
-			frac := 1 - (seen-rank)/float64(b.Count)
-			lo, hi := float64(max(b.Lo, 1)), float64(b.Hi)
-			v := int64(lo * math.Pow(hi/lo, frac))
-			return min(max(v, s.Min), s.Max)
+		if seen < rank {
+			continue
 		}
+		// The zero bucket holds only the value 0; interpolation on
+		// [max(Lo,1), Hi) would invent a 1.
+		if b.Lo == 0 {
+			return max(int64(0), s.Min)
+		}
+		// Geometric midpoint-ish interpolation: position within the
+		// bucket by remaining rank fraction, on a log scale.
+		frac := 1 - (seen-rank)/float64(b.Count)
+		lo, hi := float64(b.Lo), float64(b.Hi)
+		f := lo * math.Pow(hi/lo, frac)
+		// Keep the estimate inside the half-open bucket: frac == 1 (q
+		// landing exactly on the bucket's cumulative boundary) otherwise
+		// yields the exclusive bound Hi, and in the top bucket the float
+		// result can exceed MaxInt64, making the int64 conversion
+		// undefined. Compare in float before converting.
+		v := b.Hi - 1
+		if f < float64(b.Hi) {
+			v = max(int64(f), b.Lo)
+		}
+		return min(max(v, s.Min), s.Max)
 	}
 	return s.Max
 }

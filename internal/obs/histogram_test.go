@@ -186,3 +186,97 @@ func TestEnvMismatch(t *testing.T) {
 		t.Fatalf("mismatch %v want gomaxprocs and os/arch entries", diffs)
 	}
 }
+
+// TestQuantileEdgeCases pins exact values for the snapshot quantile
+// estimator on the configurations that used to go wrong: single-sample
+// snapshots, all mass in one bucket, ranks landing exactly on a bucket
+// boundary, the zero bucket, the top bucket, and min/max clamping on
+// merged histograms. These quantiles are the gated P95/P99 numbers of the
+// serving benchmark, so the expectations are exact, not approximate.
+func TestQuantileEdgeCases(t *testing.T) {
+	record := func(vs ...int64) HistogramSnapshot {
+		var h Histogram
+		for _, v := range vs {
+			h.Record(v)
+		}
+		return h.Snapshot()
+	}
+	cases := []struct {
+		name string
+		snap HistogramSnapshot
+		q    float64
+		want int64
+	}{
+		// A single sample is exact at every q.
+		{"single-q0", record(100), 0, 100},
+		{"single-q50", record(100), 0.5, 100},
+		{"single-q99", record(100), 0.99, 100},
+		{"single-q1", record(100), 1, 100},
+		// All mass in one bucket: clamped to the observed [min, max].
+		{"one-bucket-low", record(9, 9, 9, 9), 0.25, 9},
+		{"one-bucket-minmax", record(9, 15), 0.25, 9},
+		{"one-bucket-minmax-high", record(9, 15), 0.99, 15},
+		// q landing exactly on a bucket's cumulative boundary must not
+		// return the bucket's exclusive upper bound. Samples 4 and 16 live
+		// in buckets [4,8) and [16,32); q=0.5 has rank exactly 1.0 at the
+		// end of the first bucket, so the estimate is the bucket's largest
+		// member, 7 — inside [4,8), never the exclusive bound 8.
+		{"boundary-rank", record(4, 16), 0.5, 7},
+		{"boundary-rank-above", record(4, 16), 0.75, 16},
+		// The zero bucket holds only the value 0; the old interpolation
+		// invented a 1 here.
+		{"zero-bucket", record(0, 0, 0, 100), 0.5, 0},
+		// rank 3.6 interpolates inside [64,128): 64*2^0.6 = 97.
+		{"zero-bucket-tail", record(0, 0, 0, 100), 0.9, 97},
+		{"all-zero", record(0, 0), 0.5, 0},
+		// Top bucket: interpolation in [2^62, MaxInt64) used to overflow
+		// the float64 -> int64 conversion near frac = 1, and recording
+		// MaxInt64 itself used to wrap the min tracker's v+1 encoding
+		// (leaving Min = 0); both now clamp to MaxInt64 - 1.
+		{"top-bucket", record(math.MaxInt64, math.MaxInt64), 0.999, math.MaxInt64 - 1},
+		{"top-bucket-min", record(math.MaxInt64, math.MaxInt64), 0, math.MaxInt64 - 1},
+		// Empty snapshot.
+		{"empty", HistogramSnapshot{}, 0.5, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.snap.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d want %d (snapshot %+v)", tc.name, tc.q, got, tc.want, tc.snap)
+		}
+	}
+}
+
+// TestQuantileAfterMerge checks min/max clamping when buckets were merged:
+// the merged snapshot's Min/Max span both sources, and quantiles landing in
+// either source's bucket stay within the observed range.
+func TestQuantileAfterMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Record(5) // bucket [4,8)
+	}
+	b.Record(1000) // bucket [512,1024)
+	a.Merge(&b)
+	s := a.Snapshot()
+	if s.Min != 5 || s.Max != 1000 || s.Count != 11 {
+		t.Fatalf("merged snapshot %+v", s)
+	}
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("merged p50 = %d want 5", got)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Errorf("merged p100 = %d want 1000", got)
+	}
+	// The tail quantile lands in b's bucket; geometric interpolation must
+	// not exceed the observed max even though the bucket reaches 1024.
+	if got := s.Quantile(0.99); got < 512 || got > 1000 {
+		t.Errorf("merged p99 = %d want within [512, 1000]", got)
+	}
+	// Quantiles are monotone in q on the merged snapshot.
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %d < previous %d (not monotone)", q, v, prev)
+		}
+		prev = v
+	}
+}

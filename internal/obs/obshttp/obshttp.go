@@ -22,11 +22,13 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"parconn/internal/obs"
 )
@@ -137,16 +139,60 @@ func (s *State) Handler() http.Handler {
 	return mux
 }
 
-// Serve listens on addr and serves the debug handler in a background
-// goroutine, returning the bound listener address (useful with ":0").
-// The server lives until the process exits; debug servers have no graceful
-// shutdown story worth the plumbing in the CLI tools this backs.
-func Serve(addr string, s *State) (net.Addr, error) {
+// Server is a handle on a running HTTP server started by Serve or
+// ServeHandler: the bound address (useful with ":0") and a graceful
+// shutdown path. The embedding command is expected to call Shutdown (or
+// Close) before exiting so in-flight requests drain instead of being cut
+// mid-response.
+type Server struct {
+	addr net.Addr
+	srv  *http.Server
+	done chan struct{} // closed when the serve loop returns
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to complete, up to ctx's deadline. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+// Close drops the listener and every active connection immediately. Prefer
+// Shutdown; Close is the abandon-ship path.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ServeHandler listens on addr and serves h in a background goroutine.
+// The server carries header/idle timeouts so an idle or slow-header client
+// (slowloris) cannot pin a connection forever; there is no ReadTimeout or
+// WriteTimeout because the debug endpoints legitimately stream for long
+// windows (/debug/pprof/profile, /debug/pprof/trace).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: s.Handler()}
-	go srv.Serve(ln)
-	return ln.Addr(), nil
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	s := &Server{addr: ln.Addr(), srv: srv, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Serve listens on addr and serves the debug handler in a background
+// goroutine.
+func Serve(addr string, s *State) (*Server, error) {
+	return ServeHandler(addr, s.Handler())
 }

@@ -1,9 +1,12 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -96,12 +99,13 @@ func TestDebugVarsAndPprofMounted(t *testing.T) {
 
 func TestServeBindsAndAnswers(t *testing.T) {
 	state := NewState("obshttp_test", 0)
-	addr, err := Serve("127.0.0.1:0", state)
+	srv, err := Serve("127.0.0.1:0", state)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Shutdown(context.Background())
 	drive(state.Recorder())
-	resp, err := http.Get("http://" + addr.String() + "/debug/parconn")
+	resp, err := http.Get("http://" + srv.Addr().String() + "/debug/parconn")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,5 +134,91 @@ func TestSnapshotDuringLiveRun(t *testing.T) {
 	}
 	if !snap.Progress.Running || snap.Progress.Level != 0 || snap.Progress.Round != 2 || snap.Progress.Frontier != 5 {
 		t.Fatalf("mid-run progress %+v", snap.Progress)
+	}
+}
+
+// TestShutdownDrainsInFlight starts a request that blocks inside its
+// handler, initiates Shutdown concurrently, and checks that (a) the
+// in-flight request completes with its full body, (b) Shutdown does not
+// return before the handler finishes, and (c) new connections are refused
+// once shutdown has begun.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var inFlightDone atomic.Bool
+	srv, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		inFlightDone.Store(true)
+		io.WriteString(w, "drained")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr().String()
+
+	type getResult struct {
+		body string
+		err  error
+	}
+	got := make(chan getResult, 1)
+	go func() {
+		resp, err := http.Get(base + "/")
+		if err != nil {
+			got <- getResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- getResult{body: string(b), err: err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must block while the request is in flight.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if !inFlightDone.Load() {
+		t.Fatal("Shutdown returned before the in-flight handler finished")
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request: body %q err %v", r.body, r.err)
+	}
+	// The listener is gone: a fresh connection must fail.
+	c := &http.Client{Timeout: time.Second}
+	if resp, err := c.Get(base + "/"); err == nil {
+		resp.Body.Close()
+		t.Fatal("request after Shutdown succeeded")
+	}
+}
+
+// TestServeTimeoutsSet guards the slowloris fix: the server obshttp starts
+// must carry header and idle timeouts.
+func TestServeTimeoutsSet(t *testing.T) {
+	srv, err := ServeHandler("127.0.0.1:0", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	if srv.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set")
+	}
+	if srv.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set")
 	}
 }

@@ -1,0 +1,386 @@
+// Package serve is the read side of a computed connectivity labeling as a
+// long-lived HTTP/JSON service: load a graph once, label it once, then
+// answer component queries at high QPS from the immutable answer array.
+//
+// The labeling is published with a single atomic pointer store
+// ([Server.Publish]) and never mutated afterwards, so every query handler
+// reads it lock-free and concurrently; until Publish, the /v1 endpoints
+// answer 503 and /v1/healthz acts as the readiness gate. Per-endpoint
+// latency is recorded into wait-free obs.Histograms and exposed both in
+// /v1/stats and programmatically for the serving benchmark
+// (internal/bench/serveload).
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/component?v=ID      component label of one vertex
+//	GET  /v1/same?u=ID&v=ID      whether two vertices share a component
+//	POST /v1/batch               body [[u,v],...]: same-component per pair
+//	GET  /v1/stats               graph/labeling summary: component count,
+//	                             size histogram, top-k sizes, endpoint
+//	                             latency quantiles
+//	GET  /v1/healthz             200 once the labeling is published, 503
+//	                             while loading
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"parconn/internal/graph"
+	"parconn/internal/obs"
+)
+
+// DefaultMaxBatch bounds the number of pairs one /v1/batch request may
+// carry when Config.MaxBatch is zero. The bound keeps one client from
+// turning the point-query service into an unbounded scan: 4096 pairs is
+// far above any sane batching window but caps the per-request work.
+const DefaultMaxBatch = 4096
+
+// Endpoints in latency-recording order; keys of LatencySnapshot.
+const (
+	EndpointComponent = "component"
+	EndpointSame      = "same"
+	EndpointBatch     = "batch"
+	EndpointStats     = "stats"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxBatch caps the pairs per /v1/batch request (0 = DefaultMaxBatch).
+	MaxBatch int
+	// TopK is how many largest components /v1/stats reports (0 = 5).
+	TopK int
+}
+
+// Labeling is the immutable artifact a Server publishes: the answer array
+// plus the metadata /v1/stats reports. Labels must not be mutated after
+// Publish — every request goroutine reads it without synchronization.
+type Labeling struct {
+	Labels    []int32
+	Edges     int64         // undirected edge count of the labeled graph
+	Algorithm string        // e.g. "decomp-arb-hybrid-CC"
+	Source    string        // where the graph came from (file path or generator spec)
+	LoadTime  time.Duration // graph load + build time
+	LabelTime time.Duration // connectivity computation time
+}
+
+// published is the precomputed read-side state derived from one Labeling.
+type published struct {
+	lab        Labeling
+	components int
+	sizes      map[int32]int // label -> component size
+	top        []graph.ComponentSize
+	sizeHist   obs.HistogramSnapshot // component sizes, log2 buckets
+	since      time.Time
+}
+
+// Server answers connectivity queries over a published Labeling. Create
+// with New, mount Handler, then Publish the labeling when it is ready.
+type Server struct {
+	cfg Config
+	pub atomic.Pointer[published]
+	lat map[string]*obs.Histogram // per-endpoint request latency, ns
+}
+
+// New returns a Server that is not yet ready: queries answer 503 until
+// Publish.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 5
+	}
+	return &Server{
+		cfg: cfg,
+		lat: map[string]*obs.Histogram{
+			EndpointComponent: {},
+			EndpointSame:      {},
+			EndpointBatch:     {},
+			EndpointStats:     {},
+		},
+	}
+}
+
+// Publish computes the stats view of lab and flips the server ready. The
+// labeling is shared immutably from here on; callers must not write to
+// lab.Labels afterwards. Publishing again replaces the labeling atomically
+// (in-flight requests finish against whichever version they loaded).
+func (s *Server) Publish(lab Labeling) {
+	count, top := graph.ComponentSummary(lab.Labels, s.cfg.TopK)
+	sizes := graph.ComponentSizesOf(lab.Labels)
+	var hist obs.Histogram
+	for _, sz := range sizes {
+		hist.Record(int64(sz))
+	}
+	s.pub.Store(&published{
+		lab:        lab,
+		components: count,
+		sizes:      sizes,
+		top:        top,
+		sizeHist:   hist.Snapshot(),
+		since:      time.Now(), //parconn:allow norand uptime stopwatch for /v1/stats; no algorithmic randomness
+	})
+}
+
+// Ready reports whether a labeling has been published.
+func (s *Server) Ready() bool { return s.pub.Load() != nil }
+
+// LatencySnapshot returns the per-endpoint request-latency histograms
+// (nanoseconds), keyed by the Endpoint* constants.
+func (s *Server) LatencySnapshot() map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot, len(s.lat))
+	for name, h := range s.lat {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Handler returns the /v1 mux. Mount it on the command's root mux,
+// typically alongside obshttp's debug handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/component", s.timed(EndpointComponent, s.serveComponent))
+	mux.HandleFunc("/v1/same", s.timed(EndpointSame, s.serveSame))
+	mux.HandleFunc("/v1/batch", s.timed(EndpointBatch, s.serveBatch))
+	mux.HandleFunc("/v1/stats", s.timed(EndpointStats, s.serveStats))
+	mux.HandleFunc("/v1/healthz", s.serveHealthz)
+	return mux
+}
+
+// timed wraps a handler with latency recording. The histogram is wait-free,
+// so concurrent requests never serialize on it.
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.lat[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now() //parconn:allow norand request-latency stopwatch; no algorithmic randomness
+		h(w, r)
+		hist.Record(time.Since(start).Nanoseconds())
+	}
+}
+
+// errorBody is the JSON shape of every non-2xx answer.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// loaded returns the published state, or answers 503 and nil while the
+// labeling is still being computed.
+func (s *Server) loaded(w http.ResponseWriter) *published {
+	p := s.pub.Load()
+	if p == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "labeling not ready")
+	}
+	return p
+}
+
+// vertexParam parses a vertex id query parameter: 400 for missing or
+// non-numeric values, 404 for ids outside [0, n).
+func vertexParam(w http.ResponseWriter, r *http.Request, name string, n int) (int32, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter %q", name)
+		return 0, false
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parameter %q: not a vertex id: %q", name, raw)
+		return 0, false
+	}
+	if v < 0 || v >= int64(n) {
+		writeError(w, http.StatusNotFound, "vertex %d outside [0, %d)", v, n)
+		return 0, false
+	}
+	return int32(v), true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+// componentResponse answers /v1/component.
+type componentResponse struct {
+	V         int32 `json:"v"`
+	Component int32 `json:"component"`
+	Size      int   `json:"size"`
+}
+
+func (s *Server) serveComponent(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	p := s.loaded(w)
+	if p == nil {
+		return
+	}
+	v, ok := vertexParam(w, r, "v", len(p.lab.Labels))
+	if !ok {
+		return
+	}
+	label := p.lab.Labels[v]
+	writeJSON(w, http.StatusOK, componentResponse{V: v, Component: label, Size: p.sizes[label]})
+}
+
+// sameResponse answers /v1/same.
+type sameResponse struct {
+	U    int32 `json:"u"`
+	V    int32 `json:"v"`
+	Same bool  `json:"same"`
+}
+
+func (s *Server) serveSame(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	p := s.loaded(w)
+	if p == nil {
+		return
+	}
+	u, ok := vertexParam(w, r, "u", len(p.lab.Labels))
+	if !ok {
+		return
+	}
+	v, ok := vertexParam(w, r, "v", len(p.lab.Labels))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sameResponse{U: u, V: v, Same: p.lab.Labels[u] == p.lab.Labels[v]})
+}
+
+// batchResponse answers /v1/batch: Same[i] corresponds to request pair i.
+type batchResponse struct {
+	Count int    `json:"count"`
+	Same  []bool `json:"same"`
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	p := s.loaded(w)
+	if p == nil {
+		return
+	}
+	var pairs [][2]int64
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err := dec.Decode(&pairs); err != nil {
+		writeError(w, http.StatusBadRequest, "body: want JSON [[u,v],...]: %v", err)
+		return
+	}
+	if len(pairs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d pairs exceeds limit %d", len(pairs), s.cfg.MaxBatch)
+		return
+	}
+	n := int64(len(p.lab.Labels))
+	same := make([]bool, len(pairs))
+	for i, pr := range pairs {
+		u, v := pr[0], pr[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			writeError(w, http.StatusNotFound, "pair %d: vertex outside [0, %d)", i, n)
+			return
+		}
+		same[i] = p.lab.Labels[u] == p.lab.Labels[v]
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Count: len(same), Same: same})
+}
+
+// endpointLatency is one endpoint's latency summary inside statsResponse.
+type endpointLatency struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// statsResponse answers /v1/stats.
+type statsResponse struct {
+	Vertices      int                        `json:"vertices"`
+	Edges         int64                      `json:"edges"`
+	Components    int                        `json:"components"`
+	Algorithm     string                     `json:"algorithm"`
+	Source        string                     `json:"source,omitempty"`
+	LoadMS        float64                    `json:"load_ms"`
+	LabelMS       float64                    `json:"label_ms"`
+	UptimeSec     float64                    `json:"uptime_sec"`
+	TopComponents []graph.ComponentSize      `json:"top_components"`
+	SizeHistogram obs.HistogramSnapshot      `json:"size_histogram"`
+	Endpoints     map[string]endpointLatency `json:"endpoints"`
+}
+
+func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	p := s.loaded(w)
+	if p == nil {
+		return
+	}
+	eps := make(map[string]endpointLatency, len(s.lat))
+	for name, snap := range s.LatencySnapshot() {
+		eps[name] = endpointLatency{
+			Count:  snap.Count,
+			MeanNS: int64(snap.Mean()),
+			P50NS:  snap.Quantile(0.50),
+			P95NS:  snap.Quantile(0.95),
+			P99NS:  snap.Quantile(0.99),
+			MaxNS:  snap.Max,
+		}
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Vertices:      len(p.lab.Labels),
+		Edges:         p.lab.Edges,
+		Components:    p.components,
+		Algorithm:     p.lab.Algorithm,
+		Source:        p.lab.Source,
+		LoadMS:        float64(p.lab.LoadTime.Microseconds()) / 1000,
+		LabelMS:       float64(p.lab.LabelTime.Microseconds()) / 1000,
+		UptimeSec:     time.Since(p.since).Seconds(),
+		TopComponents: p.top,
+		SizeHistogram: p.sizeHist,
+		Endpoints:     eps,
+	})
+}
+
+// healthzResponse answers /v1/healthz.
+type healthzResponse struct {
+	Status string `json:"status"`
+}
+
+// serveHealthz is the readiness gate: 503 while the labeling is computing,
+// 200 after Publish. Deliberately not latency-timed — load balancers poll
+// it and would drown the query histograms.
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.pub.Load() == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "loading"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok"})
+}

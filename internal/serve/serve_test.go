@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testLabeling is two components: evens (label 0) and odds (label 1) over
+// 10 vertices... actually a simple split: vertices 0..5 -> label 0,
+// vertices 6..9 -> label 6.
+func testLabeling() Labeling {
+	return Labeling{
+		Labels:    []int32{0, 0, 0, 0, 0, 0, 6, 6, 6, 6},
+		Edges:     12,
+		Algorithm: "decomp-arb-hybrid-CC",
+		Source:    "test",
+		LoadTime:  3 * time.Millisecond,
+		LabelTime: 7 * time.Millisecond,
+	}
+}
+
+func newReadyServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{MaxBatch: 8, TopK: 2})
+	s.Publish(testLabeling())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s: content-type %q", url, ct)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("%s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestReadinessGate(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Every query endpoint answers 503 before Publish; healthz reports
+	// loading with a Retry-After hint.
+	for _, path := range []string{"/v1/component?v=0", "/v1/same?u=0&v=1", "/v1/stats", "/v1/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s before publish: status %d want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s before publish: no Retry-After", path)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader("[[0,1]]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch before publish: status %d want 503", resp.StatusCode)
+	}
+
+	s.Publish(testLabeling())
+	var hz healthzResponse
+	if code := getJSON(t, ts.URL+"/v1/healthz", &hz); code != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz after publish: %d %+v", code, hz)
+	}
+}
+
+func TestComponentAndSame(t *testing.T) {
+	_, ts := newReadyServer(t)
+
+	var comp componentResponse
+	if code := getJSON(t, ts.URL+"/v1/component?v=7", &comp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if comp.V != 7 || comp.Component != 6 || comp.Size != 4 {
+		t.Fatalf("component response %+v", comp)
+	}
+
+	var same sameResponse
+	if code := getJSON(t, ts.URL+"/v1/same?u=1&v=5", &same); code != http.StatusOK || !same.Same {
+		t.Fatalf("same(1,5): %d %+v", code, same)
+	}
+	if code := getJSON(t, ts.URL+"/v1/same?u=1&v=9", &same); code != http.StatusOK || same.Same {
+		t.Fatalf("same(1,9): %d %+v", code, same)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	_, ts := newReadyServer(t)
+
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/component", http.StatusBadRequest},               // missing v
+		{"/v1/component?v=abc", http.StatusBadRequest},         // non-numeric
+		{"/v1/component?v=1e3", http.StatusBadRequest},         // float-ish
+		{"/v1/component?v=99999999999", http.StatusBadRequest}, // out of int32
+		{"/v1/component?v=-1", http.StatusNotFound},            // negative
+		{"/v1/component?v=10", http.StatusNotFound},            // == n
+		{"/v1/same?u=0", http.StatusBadRequest},                // missing v
+		{"/v1/same?u=0&v=xyz", http.StatusBadRequest},
+		{"/v1/same?u=0&v=10", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var eb errorBody
+		if code := getJSON(t, ts.URL+tc.path, &eb); code != tc.want {
+			t.Errorf("%s: status %d want %d (%+v)", tc.path, code, tc.want, eb)
+		} else if eb.Error == "" {
+			t.Errorf("%s: empty error body", tc.path)
+		}
+	}
+
+	// Method confusion is 405 with an Allow header.
+	resp, err := http.Post(ts.URL+"/v1/component?v=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+		t.Errorf("POST component: status %d allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+	resp, err = http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch: status %d", resp.StatusCode)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	_, ts := newReadyServer(t)
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp, body := post("[[0,1],[0,9],[6,7]]")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != 3 || !br.Same[0] || br.Same[1] || !br.Same[2] {
+		t.Fatalf("batch response %+v", br)
+	}
+
+	// Empty batch is fine.
+	if resp, body := post("[]"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty batch: %d %s", resp.StatusCode, body)
+	}
+	// Garbage body is 400.
+	if resp, _ := post("{nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", resp.StatusCode)
+	}
+	// Out-of-range vertex is 404.
+	if resp, _ := post("[[0,10]]"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range pair: %d", resp.StatusCode)
+	}
+	// Oversized batch (server configured MaxBatch=8) is 413.
+	var sb bytes.Buffer
+	sb.WriteString("[")
+	for i := 0; i < 9; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "[%d,%d]", i%10, (i+1)%10)
+	}
+	sb.WriteString("]")
+	if resp, _ := post(sb.String()); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := newReadyServer(t)
+
+	// Touch two endpoints so their latency histograms are non-empty.
+	getJSON(t, ts.URL+"/v1/component?v=0", nil)
+	getJSON(t, ts.URL+"/v1/same?u=0&v=1", nil)
+
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st.Vertices != 10 || st.Edges != 12 || st.Components != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Algorithm != "decomp-arb-hybrid-CC" || st.LoadMS != 3 || st.LabelMS != 7 {
+		t.Fatalf("stats meta %+v", st)
+	}
+	// TopK=2: component 0 (6 vertices) then component 6 (4 vertices).
+	if len(st.TopComponents) != 2 || st.TopComponents[0].Label != 0 || st.TopComponents[0].Size != 6 ||
+		st.TopComponents[1].Label != 6 || st.TopComponents[1].Size != 4 {
+		t.Fatalf("top components %+v", st.TopComponents)
+	}
+	if st.SizeHistogram.Count != 2 || st.SizeHistogram.Min != 4 || st.SizeHistogram.Max != 6 {
+		t.Fatalf("size histogram %+v", st.SizeHistogram)
+	}
+	if st.Endpoints[EndpointComponent].Count != 1 || st.Endpoints[EndpointSame].Count != 1 {
+		t.Fatalf("endpoint latencies %+v", st.Endpoints)
+	}
+	if st.Endpoints[EndpointComponent].P99NS <= 0 {
+		t.Fatalf("component p99 not recorded: %+v", st.Endpoints[EndpointComponent])
+	}
+}
+
+// TestConcurrentMixedQueries hammers every endpoint from many goroutines;
+// under -race this checks that the published labeling and the wait-free
+// latency histograms are safe to read and record concurrently.
+func TestConcurrentMixedQueries(t *testing.T) {
+	s, ts := newReadyServer(t)
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < perWorker; i++ {
+				u, v := (w+i)%10, (w*i+3)%10
+				var resp *http.Response
+				var err error
+				switch i % 4 {
+				case 0:
+					resp, err = client.Get(fmt.Sprintf("%s/v1/component?v=%d", ts.URL, u))
+				case 1:
+					resp, err = client.Get(fmt.Sprintf("%s/v1/same?u=%d&v=%d", ts.URL, u, v))
+				case 2:
+					resp, err = client.Post(ts.URL+"/v1/batch", "application/json",
+						strings.NewReader(fmt.Sprintf("[[%d,%d],[%d,%d]]", u, v, v, u)))
+				case 3:
+					resp, err = client.Get(ts.URL + "/v1/stats")
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("worker %d op %d: status %d", w, i, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	lat := s.LatencySnapshot()
+	var total int64
+	for _, snap := range lat {
+		total += snap.Count
+	}
+	if total != workers*perWorker {
+		t.Fatalf("latency histograms recorded %d requests, want %d", total, workers*perWorker)
+	}
+}
+
+// TestRepublish checks that Publish can swap the labeling atomically while
+// queries are running.
+func TestRepublish(t *testing.T) {
+	s, ts := newReadyServer(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/v1/component?v=3")
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		s.Publish(testLabeling())
+	}
+	close(stop)
+	wg.Wait()
+	if !s.Ready() {
+		t.Fatal("server not ready after republish")
+	}
+}
