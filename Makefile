@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-smoke speedup-smoke trace-smoke trace-regression serve-smoke serve-regression vet check fmt fmt-check repro repro-quick examples clean
+.PHONY: all build test race race-short bench bench-smoke speedup-smoke trace-smoke trace-regression serve-smoke serve-regression churn-smoke churn-regression vet check fmt fmt-check repro repro-quick examples clean
 
 all: check test build
 
@@ -79,6 +79,25 @@ serve-regression:
 # Refresh the committed serving baseline (run on a quiet machine).
 BENCH_serve.json:
 	$(GO) run ./cmd/bench -experiment serve -scale 0.1 -procs 2 -seed 42 -json $@
+
+# Churn smoke: boot connserve with the incremental layer through the
+# insert lifecycle test, then run a short interleaved insert/query burst
+# through the in-process churn benchmark and self-diff the report.
+churn-smoke:
+	$(GO) test -run 'TestInsertLifecycle' -count=1 ./cmd/connserve
+	$(GO) run ./cmd/bench -experiment churn -scale 0.02 -procs 2 -json /tmp/parconn-churn-smoke.json
+	$(GO) run ./cmd/tracestat churn /tmp/parconn-churn-smoke.json /tmp/parconn-churn-smoke.json
+
+# Re-measure churn QPS/latency and gate against the committed baseline.
+# Same loose tolerance as serve-regression: only order-of-magnitude insert
+# or query blowups should trip on shared CI hosts.
+churn-regression:
+	$(GO) run ./cmd/bench -experiment churn -scale 0.1 -procs 2 -seed 42 -json /tmp/parconn-churn-regression.json
+	$(GO) run ./cmd/tracestat churn -tol 10 -floor 2ms BENCH_churn.json /tmp/parconn-churn-regression.json
+
+# Refresh the committed churn baseline (run on a quiet machine).
+BENCH_churn.json:
+	$(GO) run ./cmd/bench -experiment churn -scale 0.1 -procs 2 -seed 42 -json $@
 
 # parconnvet fails on active findings AND on stale //parconn:allow
 # suppressions (an allow that matches no finding is itself a finding).

@@ -11,10 +11,11 @@
 //	bench -experiment json                # machine-readable BENCH_parconn.json
 //	bench -experiment speedup -procs 1,2,4   # efficiency sweep, BENCH_speedup.json
 //	bench -experiment serve               # serving QPS/latency, BENCH_serve.json
+//	bench -experiment churn               # insert/query churn, BENCH_churn.json
 //	bench -experiment table2 -trace t.jsonl  # also record an observability trace
 //
 // Experiments: table1, table2, fig2..fig8, ablation, work, json, speedup,
-// serve, all.
+// serve, churn, all.
 // See EXPERIMENTS.md for the mapping to the paper and the recorded runs.
 package main
 
@@ -43,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: table1,table2,fig2..fig8,ablation,work,json,speedup,serve,all")
+		experiment = fs.String("experiment", "all", "experiment to run: table1,table2,fig2..fig8,ablation,work,json,speedup,serve,churn,all")
 		scale      = fs.Float64("scale", 1.0, "input size multiplier (1.0 = harness defaults, ~100x below paper sizes)")
 		trials     = fs.Int("trials", 3, "trials per measurement; median reported")
 		procs      = fs.String("procs", "0", "max workers (0 = all cores); a comma list like 1,2,4 sets the speedup sweep")

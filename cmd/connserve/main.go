@@ -9,9 +9,10 @@
 // beyond the HTTP stack itself.
 //
 // Endpoints: GET /v1/component?v=, GET /v1/same?u=&v=, POST /v1/batch,
-// GET /v1/stats, GET /v1/healthz (see internal/serve), plus the obshttp
-// debug surface (/debug/parconn, /debug/vars, /debug/pprof/) fed by the
-// labeling run.
+// POST /v1/insert (batched edge insertion into the incremental layer,
+// unless -incremental=false), GET /v1/stats, GET /v1/healthz (see
+// internal/serve), plus the obshttp debug surface (/debug/parconn,
+// /debug/vars, /debug/pprof/) fed by the labeling run.
 //
 // Usage:
 //
@@ -62,8 +63,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		algName  = fs.String("algorithm", "decomp-arb-hybrid-CC", "algorithm (see parconn.Algorithms)")
 		beta     = fs.Float64("beta", 0.2, "decomposition beta")
 		procs    = fs.Int("procs", 0, "max workers for the labeling run (0 = all cores)")
-		maxBatch = fs.Int("max-batch", serve.DefaultMaxBatch, "maximum pairs per /v1/batch request")
+		maxBatch = fs.Int("max-batch", serve.DefaultMaxBatch, "maximum pairs per /v1/batch or /v1/insert request")
 		topK     = fs.Int("top", 5, "largest components reported by /v1/stats")
+		incr     = fs.Bool("incremental", true, "enable /v1/insert batched edge insertion over the labeling")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -128,9 +130,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		LoadTime:  loadTime,
 		LabelTime: labelTime,
 	})
+	if *incr {
+		// The answer array seeds the incremental layer: one union-find root
+		// per component, so /v1/insert starts from the published labeling.
+		inc, err := parconn.NewIncrementalFromLabels(labels)
+		if err != nil {
+			srv.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		sv.EnableIncremental(inc)
+	}
 	count, _ := parconn.TopComponents(labels, 1)
-	fmt.Fprintf(stdout, "ready: %d components labeled with %s in %v; serving /v1/*\n",
-		count, alg, labelTime.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "ready: %d components labeled with %s in %v; serving /v1/* (incremental=%v)\n",
+		count, alg, labelTime.Round(time.Millisecond), *incr)
 
 	<-ctx.Done()
 	fmt.Fprintf(stdout, "connserve: shutting down, draining in-flight requests (budget %v)\n", *drain)

@@ -165,6 +165,192 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestInsertLifecycle boots the server with the incremental layer (the
+// default), races concurrent /v1/insert writers against /v1/same readers
+// through the real HTTP stack, and checks the final state: the inserted
+// spanning chain collapses the line graph's pieces into one component.
+func TestInsertLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	errb := &syncBuffer{}
+	codeCh := make(chan int, 1)
+	const n = 400
+	go func() {
+		codeCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-gen", "random", "-n", fmt.Sprint(n), "-degree", "1"}, out, errb)
+	}()
+
+	var base string
+	waitFor(t, 10*time.Second, "listen announcement", func() bool {
+		s := out.String()
+		i := strings.Index(s, "listening on http://")
+		if i < 0 {
+			return false
+		}
+		base = strings.TrimSpace(strings.SplitN(s[i+len("listening on "):], " ", 2)[0])
+		return true
+	})
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitFor(t, 20*time.Second, "readiness", func() bool {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	if !strings.Contains(out.String(), "incremental=true") {
+		t.Fatalf("ready line does not announce the incremental layer:\n%s", out.String())
+	}
+
+	// Writers insert disjoint stripes of one spanning chain over [0, n);
+	// readers poll /v1/same concurrently. Between them the graph becomes
+	// connected, so afterwards every pair answers same=true.
+	const writers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := w * (n / writers); v < (w+1)*(n/writers)+1 && v < n-1; v++ {
+				body := fmt.Sprintf("[[%d,%d]]", v, v+1)
+				resp, err := client.Post(base+"/v1/insert", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d at %d: status %d", w, v, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := client.Get(fmt.Sprintf("%s/v1/same?u=%d&v=%d", base, i%n, (i*7)%n))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d op %d: status %d", r, i, resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The chain connected everything: cross-graph pairs are now same, and
+	// stats reports one component at a positive epoch.
+	var same struct {
+		Same bool `json:"same"`
+	}
+	resp, err := client.Get(fmt.Sprintf("%s/v1/same?u=0&v=%d", base, n-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&same); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !same.Same {
+		t.Fatal("spanning chain inserted but endpoints still in different components")
+	}
+	var st struct {
+		Components int    `json:"components"`
+		Epoch      uint64 `json:"epoch"`
+	}
+	resp, err = client.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Components != 1 || st.Epoch == 0 {
+		t.Fatalf("stats after inserts: components=%d epoch=%d", st.Components, st.Epoch)
+	}
+
+	cancel()
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("run exit=%d stderr=%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after context cancel")
+	}
+}
+
+// TestInsertDisabled pins -incremental=false: /v1/insert answers 501 and
+// the ready line says so.
+func TestInsertDisabled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-gen", "line", "-n", "100", "-incremental=false"}, out, io.Discard)
+	}()
+	var base string
+	waitFor(t, 10*time.Second, "listen announcement", func() bool {
+		s := out.String()
+		i := strings.Index(s, "listening on http://")
+		if i < 0 {
+			return false
+		}
+		base = strings.TrimSpace(strings.SplitN(s[i+len("listening on "):], " ", 2)[0])
+		return true
+	})
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitFor(t, 20*time.Second, "readiness", func() bool {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	resp, err := client.Post(base+"/v1/insert", "application/json", strings.NewReader("[[0,1]]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("insert with -incremental=false: status %d want 501", resp.StatusCode)
+	}
+	if !strings.Contains(out.String(), "incremental=false") {
+		t.Fatalf("ready line does not announce the disabled layer:\n%s", out.String())
+	}
+	cancel()
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("run exit=%d", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return")
+	}
+}
+
 // TestRunErrors pins the fail-fast paths: all must exit non-zero without
 // binding a long-lived server.
 func TestRunErrors(t *testing.T) {

@@ -54,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSpeedup(args[1:], stdout, stderr)
 	case "serve":
 		return runServe(args[1:], stdout, stderr)
+	case "churn":
+		return runChurn(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "tracestat: unknown subcommand %q\n", args[0])
 		usage(stderr)
@@ -67,13 +69,15 @@ func usage(w io.Writer) {
   tracestat diff [-tol N] [-floor DUR] [-input NAME] BASE NEW.jsonl
   tracestat speedup [-algorithm NAME] [-efficiency-floor F] BENCH_speedup.json
   tracestat serve [-tol N] [-floor DUR] BASE_serve.json NEW_serve.json
+  tracestat churn [-tol N] [-floor DUR] BASE_churn.json NEW_churn.json
 
 BASE is either a JSONL trace or a BENCH_parconn.json benchmark report
 (detected by shape). Speedup gates a cmd/bench -experiment speedup report:
 every point of the gated algorithm must reach the efficiency floor. Serve
 diffs two cmd/bench -experiment serve reports per workload: latency
 quantiles regress past base*tol (above the floor), QPS regresses below
-base/tol.
+base/tol. Churn does the same per insert fraction of two cmd/bench
+-experiment churn reports, gating query QPS plus insert-batch latency.
 `)
 }
 
@@ -682,6 +686,162 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "tracestat: no serving regressions across %d workload(s) (tolerance %.2fx, floor %v)\n",
+		compared, *tol, *floor)
+	return 0
+}
+
+// churnReport mirrors the subset of internal/bench's BENCH_churn.json schema
+// this tool gates on (local for the same reason as serveReport). Rows are
+// matched by insert fraction, the sweep axis of the churn experiment.
+type churnReport struct {
+	Env     parconn.Env `json:"env"`
+	Results []struct {
+		InsertFraction float64 `json:"insert_fraction"`
+		Requests       int64   `json:"requests"`
+		Errors         int64   `json:"errors"`
+		QPS            float64 `json:"qps"`
+		P95NS          int64   `json:"p95_ns"`
+		Inserts        int64   `json:"inserts"`
+		InsertErrors   int64   `json:"insert_errors"`
+		InsertQPS      float64 `json:"insert_qps"`
+		InsertP95NS    int64   `json:"insert_p95_ns"`
+		InsertP99NS    int64   `json:"insert_p99_ns"`
+	} `json:"results"`
+}
+
+func loadChurnReport(path string) (churnReport, error) {
+	var rep churnReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil || len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: not a churn report", path)
+	}
+	for _, r := range rep.Results {
+		if r.InsertFraction <= 0 || r.Inserts+r.InsertErrors == 0 {
+			return rep, fmt.Errorf("%s: not a churn report (result without inserts)", path)
+		}
+	}
+	return rep, nil
+}
+
+// runChurn diffs two churn benchmark reports (cmd/bench -experiment churn)
+// per insert fraction. Query QPS regresses when it drops below base/tol;
+// insert p95/p99 regress when the new value exceeds base*tol AND the
+// absolute increase exceeds the floor; new insert errors on a previously
+// clean fraction always regress. Like serve, the quantiles of a loaded HTTP
+// server are noisy, so CI should pass a loose -tol.
+func runChurn(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat churn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tol   = fs.Float64("tol", 2.0, "regression threshold: latency new > base*tol, QPS new < base/tol")
+		floor = fs.Duration("floor", 200*time.Microsecond, "ignore latency regressions whose absolute increase is below this duration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		usage(stderr)
+		return 2
+	}
+	if *tol <= 1 {
+		fmt.Fprintln(stderr, "tracestat: -tol must be greater than 1")
+		return 2
+	}
+	base, err := loadChurnReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	cur, err := loadChurnReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	if diffs := base.Env.Mismatch(cur.Env); len(diffs) > 0 {
+		fmt.Fprintf(stderr, "tracestat: WARNING: environment mismatch (throughput not directly comparable): %s\n",
+			strings.Join(diffs, "; "))
+	}
+
+	fracKey := func(f float64) string { return fmt.Sprintf("%.4f", f) }
+	type row struct{ base, cur int }
+	byFrac := map[string]*row{}
+	for i, r := range base.Results {
+		byFrac[fracKey(r.InsertFraction)] = &row{base: i, cur: -1}
+	}
+	for i, r := range cur.Results {
+		if w := byFrac[fracKey(r.InsertFraction)]; w != nil {
+			w.cur = i
+		} else {
+			byFrac[fracKey(r.InsertFraction)] = &row{base: -1, cur: i}
+		}
+	}
+	keys := make([]string, 0, len(byFrac))
+	for k := range byFrac {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	compared := 0
+	fmt.Fprintf(stdout, "%-8s %-12s %12s %12s %8s\n", "f", "metric", "base", "new", "ratio")
+	for _, key := range keys {
+		w := byFrac[key]
+		if w.base < 0 || w.cur < 0 {
+			fmt.Fprintf(stdout, "%-8s %-12s %12s %12s %8s  (missing on one side)\n", key, "-", "-", "-", "-")
+			continue
+		}
+		b, c := base.Results[w.base], cur.Results[w.cur]
+		compared++
+		verdict := "ok"
+		if c.QPS < b.QPS / *tol {
+			regressions++
+			verdict = fmt.Sprintf("REGRESSION (below base/%.2f)", *tol)
+		}
+		ratio := 0.0
+		if b.QPS > 0 {
+			ratio = c.QPS / b.QPS
+		}
+		fmt.Fprintf(stdout, "%-8s %-12s %12.0f %12.0f %7.2fx  %s\n", key, "query qps", b.QPS, c.QPS, ratio, verdict)
+		lat := []struct {
+			metric string
+			baseNS int64
+			curNS  int64
+		}{
+			{"query p95", b.P95NS, c.P95NS},
+			{"insert p95", b.InsertP95NS, c.InsertP95NS},
+			{"insert p99", b.InsertP99NS, c.InsertP99NS},
+		}
+		for _, l := range lat {
+			verdict := "ok"
+			if l.curNS > int64(float64(l.baseNS)**tol) && l.curNS-l.baseNS > floor.Nanoseconds() {
+				regressions++
+				verdict = fmt.Sprintf("REGRESSION (+%v > %v floor)", roundDur(time.Duration(l.curNS-l.baseNS)), *floor)
+			}
+			ratio := 0.0
+			if l.baseNS > 0 {
+				ratio = float64(l.curNS) / float64(l.baseNS)
+			}
+			fmt.Fprintf(stdout, "%-8s %-12s %12v %12v %7.2fx  %s\n",
+				key, l.metric, roundDur(time.Duration(l.baseNS)), roundDur(time.Duration(l.curNS)), ratio, verdict)
+		}
+		if errs := c.Errors + c.InsertErrors; errs > 0 && b.Errors+b.InsertErrors == 0 {
+			regressions++
+			fmt.Fprintf(stdout, "%-8s %-12s %12d %12d %8s  REGRESSION (new errors)\n",
+				key, "errors", b.Errors+b.InsertErrors, errs, "-")
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(stderr, "tracestat: no insert fraction exists on both sides; nothing compared")
+		return 2
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "tracestat: %d churn regression(s) (tolerance %.2fx, floor %v)\n", regressions, *tol, *floor)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tracestat: no churn regressions across %d insert fraction(s) (tolerance %.2fx, floor %v)\n",
 		compared, *tol, *floor)
 	return 0
 }

@@ -401,6 +401,105 @@ func TestServeGateTripsOnNewErrors(t *testing.T) {
 	}
 }
 
+// writeChurnReport synthesizes a BENCH_churn.json-shaped report for the
+// churn gate tests: two insert fractions, query QPS plus insert quantiles.
+func writeChurnReport(t *testing.T, path string, qps float64, insP95 int64, insErrs int64) {
+	t.Helper()
+	row := func(frac float64) map[string]any {
+		return map[string]any{
+			"workload": "churn", "insert_fraction": frac, "insert_batch": 32,
+			"concurrency": 2, "requests": 1000, "errors": 0,
+			"qps": qps, "p50_ns": insP95 / 8, "p95_ns": insP95 / 4, "p99_ns": insP95 / 2,
+			"inserts": 100, "insert_errors": insErrs, "insert_qps": qps / 10,
+			"insert_p50_ns": insP95 / 2, "insert_p95_ns": insP95, "insert_p99_ns": 2 * insP95,
+		}
+	}
+	rep := map[string]any{
+		"go_version": "go-test",
+		"gomaxprocs": 2,
+		"env":        parconn.CaptureEnv(),
+		"results":    []map[string]any{row(0.05), row(0.25)},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnGateIdenticalPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeChurnReport(t, base, 50000, 1_000_000, 0)
+	code, out, errb := runCapture(t, "churn", base, base)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb)
+	}
+	if !strings.Contains(out, "no churn regressions across 2 insert fraction(s)") {
+		t.Fatalf("output wrong:\n%s", out)
+	}
+}
+
+func TestChurnGateTripsOnInsertLatency(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeChurnReport(t, base, 50000, 1_000_000, 0)
+	writeChurnReport(t, cur, 50000, 5_000_000, 0) // insert p95 5x slower
+	code, out, _ := runCapture(t, "churn", "-tol", "2", base, cur)
+	if code != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("exit=%d:\n%s", code, out)
+	}
+	// A loose enough tolerance passes the same pair.
+	if code, out, _ := runCapture(t, "churn", "-tol", "20", base, cur); code != 0 {
+		t.Fatalf("tol=20 exit=%d:\n%s", code, out)
+	}
+}
+
+func TestChurnGateTripsOnQueryQPSDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeChurnReport(t, base, 50000, 1_000_000, 0)
+	writeChurnReport(t, cur, 10000, 1_000_000, 0) // 5x query throughput drop
+	code, out, _ := runCapture(t, "churn", "-tol", "2", base, cur)
+	if code != 1 || !strings.Contains(out, "REGRESSION (below base/2.00)") {
+		t.Fatalf("exit=%d:\n%s", code, out)
+	}
+}
+
+func TestChurnGateTripsOnNewInsertErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeChurnReport(t, base, 50000, 1_000_000, 0)
+	writeChurnReport(t, cur, 50000, 1_000_000, 9)
+	code, out, _ := runCapture(t, "churn", base, cur)
+	if code != 1 || !strings.Contains(out, "new errors") {
+		t.Fatalf("exit=%d:\n%s", code, out)
+	}
+}
+
+func TestChurnGateUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeChurnReport(t, base, 50000, 1_000_000, 0)
+	if code, _, _ := runCapture(t, "churn", base); code != 2 {
+		t.Fatal("one-arg churn accepted")
+	}
+	if code, _, _ := runCapture(t, "churn", "-tol", "0.5", base, base); code != 2 {
+		t.Fatal("tol <= 1 accepted")
+	}
+	// A serve report is not a churn report: no insert fractions.
+	notChurn := filepath.Join(dir, "serve.json")
+	writeServeReport(t, notChurn, 50000, 1_000_000, 0)
+	if code, _, _ := runCapture(t, "churn", notChurn, base); code != 2 {
+		t.Fatal("serve report accepted as churn baseline")
+	}
+}
+
 func TestServeGateUsageErrors(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")

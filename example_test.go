@@ -105,3 +105,21 @@ func ExampleSpanner() {
 	// true
 	// true
 }
+
+func ExampleIncremental() {
+	// Seed the incremental layer from a from-scratch labeling, then stream
+	// in new edges; snapshots are always consistent with whole batches.
+	g, _ := parconn.NewGraph(6, []parconn.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, parconn.BuildOptions{})
+	labels, _ := parconn.ConnectedComponents(g, parconn.Options{})
+	inc, _ := parconn.NewIncrementalFromLabels(labels)
+	fmt.Println(inc.Components(), inc.Same(0, 2))
+
+	merged, _ := inc.Insert([]parconn.Edge{{U: 1, V: 2}, {U: 4, V: 5}})
+	snap := inc.Snapshot()
+	fmt.Println(merged, snap.Epoch, snap.Components)
+	fmt.Println(inc.Same(0, 3))
+	// Output:
+	// 4 false
+	// 2 1 2
+	// true
+}

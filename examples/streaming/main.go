@@ -1,7 +1,10 @@
 // Streaming connectivity: edges arrive over time (a growing collaboration
-// network) and component structure is maintained incrementally with the
-// UnionFind API, with periodic snapshots — then cross-checked against a
-// from-scratch ConnectedComponents run on the final graph.
+// network) and component structure is maintained with parconn.Incremental —
+// the concurrent, batched edge-insertion layer. The first half of the
+// stream is labeled from scratch (the "nightly rebuild"); the second half
+// arrives through Insert from several goroutines at once, with consistent
+// Snapshots taken along the way — then the final state is cross-checked
+// against a from-scratch ConnectedComponents run on the full graph.
 //
 //	go run ./examples/streaming
 package main
@@ -9,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"parconn"
 )
@@ -27,46 +31,75 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("stream: %d vertices, %d edges arriving in %d batches\n\n",
-		n, len(stream), 10)
 
-	uf := parconn.NewUnionFind(n)
-	components := n // every insertion that merges reduces the count by one
-	fmt.Printf("%-8s %-12s %-12s %-10s\n", "batch", "edges seen", "components", "giant %")
-	batch := len(stream) / 10
-	for b := 0; b < 10; b++ {
-		lo, hi := b*batch, (b+1)*batch
-		if b == 9 {
-			hi = len(stream)
-		}
-		for _, e := range stream[lo:hi] {
-			if uf.Union(e.U, e.V) {
-				components--
-			}
-		}
-		// Snapshot: giant component share.
-		labels := uf.Labels()
-		sizes := parconn.ComponentSizes(labels)
-		giant := 0
-		for _, s := range sizes {
-			if s > giant {
-				giant = s
-			}
-		}
-		fmt.Printf("%-8d %-12d %-12d %-10.1f\n", b+1, hi, components, 100*float64(giant)/float64(n))
+	// Half the history already happened: label it with the full parallel
+	// from-scratch algorithm and seed the incremental layer from the answer
+	// array, exactly like a service would after its periodic rebuild.
+	half := len(stream) / 2
+	prefix, err := parconn.NewGraph(n, stream[:half], parconn.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
 	}
+	seed, err := parconn.ConnectedComponents(prefix, parconn.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inc, err := parconn.NewIncrementalFromLabels(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream: %d vertices, %d edges; seeded from the first %d, streaming the rest\n\n",
+		n, len(stream), half)
+
+	// The remaining edges arrive in batches, inserted by several goroutines
+	// concurrently — Incremental's unions are lock-free CAS operations, so
+	// the writers need no coordination beyond the stream split.
+	const writers = 4
+	live := stream[half:]
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			const batch = 4096
+			for lo := w * batch; lo < len(live); lo += writers * batch {
+				hi := lo + batch
+				if hi > len(live) {
+					hi = len(live)
+				}
+				if _, err := inc.Insert(live[lo:hi]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Snapshots are torn-free: this labeling reflects exactly the batches
+	// applied up to its epoch, never half a batch.
+	snap := inc.Snapshot()
+	sizes := parconn.ComponentSizes(snap.Labels)
+	giant := 0
+	for _, s := range sizes {
+		if s > giant {
+			giant = s
+		}
+	}
+	fmt.Printf("%-12s %-12s %-12s %-10s\n", "epoch", "edges", "components", "giant %")
+	fmt.Printf("%-12d %-12d %-12d %-10.1f\n\n",
+		snap.Epoch, int64(half)+snap.Edges, snap.Components, 100*float64(giant)/float64(n))
 
 	// Cross-check the incremental state against a batch recomputation.
 	batchLabels, err := parconn.ConnectedComponents(full, parconn.Options{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if parconn.NumComponents(batchLabels) != components {
+	if parconn.NumComponents(batchLabels) != snap.Components {
 		log.Fatalf("incremental (%d) and batch (%d) component counts disagree",
-			components, parconn.NumComponents(batchLabels))
+			snap.Components, parconn.NumComponents(batchLabels))
 	}
-	if err := parconn.VerifyLabeling(full, uf.Labels()); err != nil {
+	if err := parconn.VerifyLabeling(full, snap.Labels); err != nil {
 		log.Fatalf("incremental labeling failed verification: %v", err)
 	}
-	fmt.Println("\nincremental result verified against batch recomputation")
+	fmt.Println("incremental result verified against batch recomputation")
 }

@@ -90,6 +90,88 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzIncremental: arbitrary bytes decoded into edge batches (including
+// out-of-range vertices, self-loops, duplicates, and empty batches) driven
+// through Incremental. Invariants: Insert never panics, rejects any batch
+// with an out-of-range endpoint without applying it, keeps the component
+// count monotonically non-increasing, keeps the union-find acyclic, is
+// idempotent under re-insertion, and always matches the from-scratch oracle
+// on the accepted edges.
+func FuzzIncremental(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 0, 2}, uint8(8))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{5, 5, 5, 5}, uint8(6))           // self-loops
+	f.Add([]byte{200, 1}, uint8(4))               // out-of-range endpoint
+	f.Add([]byte{0, 1, 0xFF, 0, 1, 2}, uint8(16)) // batch separator
+	f.Fuzz(func(t *testing.T, raw []byte, nRaw uint8) {
+		n := int(nRaw%64) + 1
+		inc := NewIncremental(n)
+
+		// Decode: pairs of bytes are edges (unreduced, so values >= n probe
+		// the validation path); a 0xFF first byte ends the current batch.
+		var batches [][]Edge
+		var cur []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			if raw[i] == 0xFF {
+				batches = append(batches, cur)
+				cur = nil
+				i--
+				continue
+			}
+			cur = append(cur, Edge{U: int32(raw[i]), V: int32(raw[i+1])})
+		}
+		batches = append(batches, cur)
+
+		var accepted []Edge
+		components := inc.Components()
+		for _, batch := range batches {
+			epochBefore := inc.Epoch()
+			merged, err := inc.Insert(batch)
+			if err != nil {
+				// Rejected batches are all-or-nothing: no state moved.
+				if inc.Epoch() != epochBefore {
+					t.Fatalf("rejected batch advanced the epoch")
+				}
+				continue
+			}
+			if len(batch) > 0 && inc.Epoch() != epochBefore+1 {
+				t.Fatalf("accepted batch did not advance the epoch by 1")
+			}
+			if merged < 0 || merged > len(batch) {
+				t.Fatalf("merged %d of %d", merged, len(batch))
+			}
+			accepted = append(accepted, batch...)
+			if c := inc.Components(); c > components {
+				t.Fatalf("component count grew %d -> %d", components, c)
+			} else {
+				components = c
+			}
+			// Idempotence: re-inserting the same batch merges nothing.
+			if again, err := inc.Insert(batch); err != nil || again != 0 {
+				t.Fatalf("re-insert: merged=%d err=%v", again, err)
+			}
+		}
+
+		// The labeling matches a from-scratch run on the accepted edges.
+		g, err := NewGraph(n, accepted, BuildOptions{KeepDuplicates: true})
+		if err != nil {
+			t.Fatalf("accepted edges rejected by NewGraph: %v", err)
+		}
+		ref := graph.RefCC(g.g)
+		snap := inc.Snapshot()
+		if !graph.SamePartition(ref, snap.Labels) {
+			t.Fatalf("wrong partition for n=%d accepted=%v", n, accepted)
+		}
+		if snap.Components != NumComponents(ref) {
+			t.Fatalf("components=%d, oracle=%d", snap.Components, NumComponents(ref))
+		}
+		// The underlying union-find stayed acyclic and in-range.
+		if err := inc.uf.Load().Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // FuzzConnectedComponents: arbitrary edge bytes decoded into a small graph;
 // every algorithm must agree with the oracle.
 func FuzzConnectedComponents(f *testing.F) {

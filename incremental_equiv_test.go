@@ -1,0 +1,214 @@
+package parconn
+
+import (
+	"fmt"
+	"testing"
+
+	"parconn/internal/graph"
+	"parconn/internal/prand"
+)
+
+// This file is the equivalence harness for Incremental: across hundreds of
+// randomized (input graph, edge order, batching, seeding, checkpoint
+// placement) cases, the labeling produced by streaming a graph's edges
+// through Insert must be permutation-equivalent — same partition, possibly
+// different canonical representatives — to a from-scratch
+// ConnectedComponents run on the prefix graph containing exactly the edges
+// inserted so far. graph.SamePartition is the normalizer: it checks the
+// bidirectional label mapping, so the two sides may pick different roots.
+
+// equivCase is one randomized equivalence scenario.
+type equivCase struct {
+	gen      string // input family
+	seed     uint64 // drives the generator, the shuffle, and the batching
+	batching string // how the stream is cut into Insert batches
+	seeded   bool   // seed the Incremental from a prefix labeling instead of empty
+}
+
+// equivGenerators builds the four input families the harness streams. Sizes
+// are kept small: the point is coverage of orderings and batchings, not
+// scale.
+func equivGraph(gen string, seed uint64) *Graph {
+	switch gen {
+	case "rMat":
+		return RMatGraph(8, RMatOptions{EdgeFactor: 4, Seed: seed})
+	case "random":
+		return RandomGraph(300, 2, seed)
+	case "star":
+		return StarGraph(200)
+	case "chain":
+		return LineGraph(250, seed)
+	default:
+		panic("unknown generator " + gen)
+	}
+}
+
+// edgeStream extracts each undirected edge of g once and shuffles it with
+// the case seed, so every case replays the same graph in a different order.
+func edgeStream(g *Graph, seed uint64) []Edge {
+	var edges []Edge
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			if w > int32(v) {
+				edges = append(edges, Edge{U: int32(v), V: w})
+			}
+		}
+	}
+	src := prand.New(seed)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	return edges
+}
+
+// cutBatches splits the stream into Insert-sized batches per the strategy.
+func cutBatches(edges []Edge, batching string, seed uint64) [][]Edge {
+	var batches [][]Edge
+	src := prand.New(seed ^ 0x9e3779b97f4a7c15)
+	switch batching {
+	case "single":
+		for i := range edges {
+			batches = append(batches, edges[i:i+1])
+		}
+	case "fixed":
+		const k = 17
+		for i := 0; i < len(edges); i += k {
+			end := i + k
+			if end > len(edges) {
+				end = len(edges)
+			}
+			batches = append(batches, edges[i:end])
+		}
+	case "random":
+		for i := 0; i < len(edges); {
+			k := 1 + src.Intn(40)
+			if i+k > len(edges) {
+				k = len(edges) - i
+			}
+			batches = append(batches, edges[i:i+k])
+			i += k
+		}
+	case "whole":
+		batches = append(batches, edges)
+	default:
+		panic("unknown batching " + batching)
+	}
+	return batches
+}
+
+// prefixLabels runs the from-scratch algorithm on the graph containing
+// exactly edges[:count] — the oracle for the incremental labeling at that
+// point in the stream.
+func prefixLabels(t *testing.T, n int, edges []Edge, count int, seed uint64) []int32 {
+	t.Helper()
+	g, err := NewGraph(n, edges[:count], BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ConnectedComponents(g, Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labels
+}
+
+// runEquivCase streams one case and cross-checks the incremental state at
+// every checkpoint (a deterministic subset of batch boundaries plus the
+// end of the stream) against the from-scratch oracle.
+func runEquivCase(t *testing.T, c equivCase) {
+	t.Helper()
+	g := equivGraph(c.gen, c.seed)
+	n := g.NumVertices()
+	edges := edgeStream(g, c.seed)
+	batches := cutBatches(edges, c.batching, c.seed)
+
+	var inc *Incremental
+	prefixStart := 0
+	if c.seeded {
+		// Seed from a from-scratch labeling of the first half of the stream;
+		// the incremental layer continues from there.
+		prefixStart = len(edges) / 2
+		seedLabels := prefixLabels(t, n, edges, prefixStart, c.seed)
+		var err error
+		inc, err = NewIncrementalFromLabels(seedLabels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-cut only the remaining stream.
+		batches = cutBatches(edges[prefixStart:], c.batching, c.seed)
+	} else {
+		inc = NewIncremental(n)
+	}
+
+	// Checkpoints: ~4 per case, spread across the stream, plus the end.
+	// Oracle runs dominate the harness cost, so they are rationed.
+	stride := len(batches)/4 + 1
+	applied := prefixStart
+	for bi, batch := range batches {
+		merged, err := inc.Insert(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if merged < 0 || merged > len(batch) {
+			t.Fatalf("batch %d: merged %d of %d", bi, merged, len(batch))
+		}
+		applied += len(batch)
+		if (bi+1)%stride == 0 || bi == len(batches)-1 {
+			want := prefixLabels(t, n, edges, applied, c.seed)
+			snap := inc.Snapshot()
+			if !graph.SamePartition(want, snap.Labels) {
+				t.Fatalf("after batch %d (%d/%d edges): incremental partition diverged from from-scratch oracle",
+					bi, applied, len(edges))
+			}
+			if snap.Components != NumComponents(want) {
+				t.Fatalf("after batch %d: components=%d, oracle=%d", bi, snap.Components, NumComponents(want))
+			}
+			// Spot-check the live point queries against the oracle too.
+			src := prand.New(c.seed + uint64(bi))
+			for q := 0; q < 16; q++ {
+				u, v := int32(src.Intn(n)), int32(src.Intn(n))
+				if got, want := inc.Same(u, v), want[u] == want[v]; got != want {
+					t.Fatalf("after batch %d: Same(%d,%d)=%v, oracle %v", bi, u, v, got, want)
+				}
+			}
+		}
+	}
+	// The fully-streamed graph must match a labeling of the original.
+	full, err := ConnectedComponents(g, Options{Seed: c.seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SamePartition(full, inc.Labels()) {
+		t.Fatal("final incremental partition diverged from the full graph labeling")
+	}
+}
+
+// TestIncrementalEquivalence is the harness entry point: 4 generators x 2
+// seedings x 4 batchings x 7 seeds = 224 randomized cases.
+func TestIncrementalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence harness runs the from-scratch oracle hundreds of times")
+	}
+	gens := []string{"rMat", "random", "star", "chain"}
+	batchings := []string{"single", "fixed", "random", "whole"}
+	cases := 0
+	for _, gen := range gens {
+		for _, seeded := range []bool{false, true} {
+			for _, batching := range batchings {
+				for seed := uint64(1); seed <= 7; seed++ {
+					c := equivCase{gen: gen, seed: seed, batching: batching, seeded: seeded}
+					cases++
+					name := fmt.Sprintf("%s/%s/seeded=%v/seed=%d", gen, batching, seeded, seed)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						runEquivCase(t, c)
+					})
+				}
+			}
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("harness shrank to %d cases; the contract is at least 200", cases)
+	}
+}

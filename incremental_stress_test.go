@@ -1,0 +1,291 @@
+package parconn
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// This file is the concurrency stress suite for Incremental, written to run
+// under -race. The structural invariant it pins is snapshot atomicity:
+// because each Insert batch is all-or-nothing with respect to validated
+// snapshot scans, a reader that chains a whole block of vertices in ONE
+// batch must never observe the block half-chained. Writers own disjoint
+// vertex stripes so every interleaving of their batches is a valid state.
+
+const (
+	stressWriters   = 4
+	stressReaders   = 4
+	stressBlockSize = 8  // vertices chained per batch
+	stressBlocks    = 60 // batches per writer
+)
+
+// stressBlockStart returns the first vertex of writer w's block b.
+func stressBlockStart(w, b int) int32 {
+	return int32((w*stressBlocks + b) * stressBlockSize)
+}
+
+// checkStressSnapshot asserts the all-or-nothing block property on one
+// snapshot: every block is either fully chained under one label or still
+// all singletons. Returns the number of fully-applied blocks so callers can
+// also check monotonicity.
+func checkStressSnapshot(t *testing.T, labels []int32) int {
+	t.Helper()
+	applied := 0
+	for w := 0; w < stressWriters; w++ {
+		for b := 0; b < stressBlocks; b++ {
+			start := stressBlockStart(w, b)
+			root := labels[start]
+			chained := true
+			singleton := true
+			for i := int32(0); i < stressBlockSize; i++ {
+				v := start + i
+				if labels[v] != root {
+					chained = false
+				}
+				if labels[v] != v {
+					singleton = false
+				}
+			}
+			switch {
+			case chained:
+				applied++
+			case singleton:
+				// batch not applied yet
+			default:
+				t.Errorf("torn snapshot: writer %d block %d is half-chained: %v",
+					w, b, labels[start:start+stressBlockSize])
+				return applied
+			}
+		}
+	}
+	return applied
+}
+
+// TestIncrementalStress runs disjoint-stripe writers against snapshot and
+// point-query readers and checks that every observed labeling corresponds
+// to a set of fully-applied batches, that epochs never regress, and that
+// the component count only falls.
+func TestIncrementalStress(t *testing.T) {
+	n := stressWriters * stressBlocks * stressBlockSize
+	inc := NewIncremental(n)
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(stressWriters + stressReaders)
+	stop := make(chan struct{})
+
+	for w := 0; w < stressWriters; w++ {
+		go func(w int) {
+			defer done.Done()
+			start.Wait()
+			for b := 0; b < stressBlocks; b++ {
+				base := stressBlockStart(w, b)
+				batch := make([]Edge, 0, stressBlockSize-1)
+				for i := int32(1); i < stressBlockSize; i++ {
+					batch = append(batch, Edge{U: base + i - 1, V: base + i})
+				}
+				merged, err := inc.Insert(batch)
+				if err != nil {
+					t.Errorf("writer %d block %d: %v", w, b, err)
+					return
+				}
+				if merged != len(batch) {
+					t.Errorf("writer %d block %d: merged %d of %d disjoint chain edges", w, b, merged, len(batch))
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < stressReaders; r++ {
+		go func(r int) {
+			defer done.Done()
+			start.Wait()
+			lastEpoch := uint64(0)
+			lastComponents := n + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := inc.Snapshot()
+				if snap.Epoch < lastEpoch {
+					t.Errorf("reader %d: epoch regressed %d -> %d", r, lastEpoch, snap.Epoch)
+					return
+				}
+				lastEpoch = snap.Epoch
+				if snap.Components > lastComponents {
+					t.Errorf("reader %d: components grew %d -> %d", r, lastComponents, snap.Components)
+					return
+				}
+				lastComponents = snap.Components
+				applied := checkStressSnapshot(t, snap.Labels)
+				// The counters must agree with the labeling: each applied
+				// block merged blockSize-1 singletons away.
+				if want := n - applied*(stressBlockSize-1); snap.Components != want {
+					t.Errorf("reader %d: %d applied blocks but %d components (want %d)", r, applied, snap.Components, want)
+					return
+				}
+				// Point queries stay within the stripes: vertices of
+				// different writers never connect.
+				u := stressBlockStart(0, 0)
+				v := stressBlockStart(stressWriters-1, 0)
+				if inc.Same(u, v) {
+					t.Errorf("reader %d: disjoint stripes connected", r)
+					return
+				}
+			}
+		}(r)
+	}
+
+	start.Done()
+	// Release the readers once every writer batch has landed (or a writer
+	// bailed out with an error, which also stops the epoch from advancing).
+	for inc.Epoch() < uint64(stressWriters*stressBlocks) && !t.Failed() {
+		runtime.Gosched()
+	}
+	close(stop)
+	done.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final state: every batch applied exactly once.
+	snap := inc.Snapshot()
+	if got := checkStressSnapshot(t, snap.Labels); got != stressWriters*stressBlocks {
+		t.Fatalf("final snapshot has %d applied blocks, want %d", got, stressWriters*stressBlocks)
+	}
+	wantComponents := n - stressWriters*stressBlocks*(stressBlockSize-1)
+	if snap.Components != wantComponents {
+		t.Fatalf("final components = %d, want %d", snap.Components, wantComponents)
+	}
+	if snap.Epoch != uint64(stressWriters*stressBlocks) {
+		t.Fatalf("final epoch = %d, want %d", snap.Epoch, stressWriters*stressBlocks)
+	}
+}
+
+// TestIncrementalStressSharedEdges hammers the same edge set from every
+// writer: merges must be counted exactly once across racing duplicate
+// unions (the CAS loser sees the components already joined).
+func TestIncrementalStressSharedEdges(t *testing.T) {
+	const n = 512
+	const writers = 8
+	inc := NewIncremental(n)
+	// One spanning chain over all of [0, n), inserted whole by every writer.
+	chain := make([]Edge, 0, n-1)
+	for v := int32(1); v < n; v++ {
+		chain = append(chain, Edge{U: v - 1, V: v})
+	}
+	var wg sync.WaitGroup
+	totalMerged := make([]int, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m, err := inc.Insert(chain)
+			if err != nil {
+				t.Errorf("writer %d: %v", w, err)
+				return
+			}
+			totalMerged[w] = m
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	for _, m := range totalMerged {
+		sum += m
+	}
+	if sum != n-1 {
+		t.Fatalf("racing duplicate inserts merged %d total, want exactly %d", sum, n-1)
+	}
+	if inc.Components() != 1 {
+		t.Fatalf("components = %d, want 1", inc.Components())
+	}
+	snap := inc.Snapshot()
+	root := snap.Labels[0]
+	for v, l := range snap.Labels {
+		if l != root {
+			t.Fatalf("vertex %d not in the single component (label %d)", v, l)
+		}
+	}
+}
+
+// TestIncrementalCompactUnderLoad races Compact against live inserts and
+// snapshot readers: the swap must never produce a torn snapshot or lose the
+// writers' stripes (Compact relabels a graph that already includes them).
+func TestIncrementalCompactUnderLoad(t *testing.T) {
+	const n = 1024
+	// The static graph Compact relabels: chains of 4.
+	var edges []Edge
+	for v := int32(0); v < n; v++ {
+		if v%4 != 0 {
+			edges = append(edges, Edge{U: v - 1, V: v})
+		}
+	}
+	g, err := NewGraph(n, edges, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ConnectedComponents(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncrementalFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Re-inserting writers: edges already in g, so Compact never loses them.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := edges[(i*7+w*13)%len(edges)]
+				if _, err := inc.InsertEdge(e.U, e.V); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Snapshot readers: the partition must always be exactly g's, since
+	// every insert is a re-insert.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := inc.Snapshot()
+				if got := snap.Components; got != NumComponents(labels) {
+					t.Errorf("reader %d: components = %d, want %d", r, got, NumComponents(labels))
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 8; i++ {
+		if err := inc.Compact(g, Options{Seed: uint64(i + 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := VerifyLabeling(g, inc.Labels()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package parconn
+
+import (
+	"testing"
+
+	"parconn/internal/graph"
+)
+
+// TestIncrementalBasics covers the sequential contract: seeding, batched
+// insertion, live queries, snapshot consistency, and the counters.
+func TestIncrementalBasics(t *testing.T) {
+	inc := NewIncremental(6)
+	if inc.Vertices() != 6 || inc.Components() != 6 || inc.Epoch() != 0 {
+		t.Fatalf("fresh state: vertices=%d components=%d epoch=%d", inc.Vertices(), inc.Components(), inc.Epoch())
+	}
+	merged, err := inc.Insert([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 3, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 2 {
+		t.Fatalf("merged = %d, want 2 (triangle closes, self-loop is a no-op)", merged)
+	}
+	if inc.Components() != 4 || inc.Epoch() != 1 || inc.Edges() != 4 {
+		t.Fatalf("after batch: components=%d epoch=%d edges=%d", inc.Components(), inc.Epoch(), inc.Edges())
+	}
+	if !inc.Same(0, 2) || inc.Same(0, 3) {
+		t.Fatal("live Same answers wrong")
+	}
+	if inc.Find(0) != inc.Find(2) || inc.Find(-1) != -1 || inc.Find(6) != -1 {
+		t.Fatal("live Find answers wrong")
+	}
+	snap := inc.Snapshot()
+	if snap.Epoch != 1 || snap.Components != 4 || snap.Edges != 4 {
+		t.Fatalf("snapshot meta: %+v", snap)
+	}
+	for v, l := range snap.Labels {
+		if snap.Labels[l] != l {
+			t.Fatalf("snapshot labeling not canonical at %d", v)
+		}
+	}
+	// Re-inserting the same batch merges nothing and bumps the epoch.
+	if m, _ := inc.Insert([]Edge{{U: 0, V: 1}, {U: 1, V: 2}}); m != 0 {
+		t.Fatalf("re-insert merged %d", m)
+	}
+	if inc.Epoch() != 2 {
+		t.Fatalf("epoch = %d after re-insert", inc.Epoch())
+	}
+	// The cached snapshot is epoch-validated: a fresh one reflects epoch 2.
+	if s := inc.Snapshot(); s.Epoch != 2 || !graph.SamePartition(snap.Labels, s.Labels) {
+		t.Fatalf("re-snapshot: epoch=%d", s.Epoch)
+	}
+}
+
+// TestIncrementalRejectsBadBatch pins the all-or-nothing validation.
+func TestIncrementalRejectsBadBatch(t *testing.T) {
+	inc := NewIncremental(4)
+	if _, err := inc.Insert([]Edge{{U: 0, V: 1}, {U: 2, V: 4}}); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, err := inc.Insert([]Edge{{U: -1, V: 1}}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	// Nothing from the rejected batches may have been applied.
+	if inc.Epoch() != 0 || inc.Components() != 4 || inc.Edges() != 0 {
+		t.Fatalf("rejected batch leaked state: epoch=%d components=%d edges=%d", inc.Epoch(), inc.Components(), inc.Edges())
+	}
+	if m, err := inc.Insert(nil); err != nil || m != 0 {
+		t.Fatalf("empty batch: merged=%d err=%v", m, err)
+	}
+	if inc.Epoch() != 0 {
+		t.Fatal("empty batch bumped the epoch")
+	}
+}
+
+// TestIncrementalFromLabels seeds from a real from-scratch labeling and
+// checks that inserts continue from it.
+func TestIncrementalFromLabels(t *testing.T) {
+	g := RandomGraph(500, 1, 11)
+	labels, err := ConnectedComponents(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncrementalFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Components() != NumComponents(labels) {
+		t.Fatalf("seeded components = %d, want %d", inc.Components(), NumComponents(labels))
+	}
+	if !graph.SamePartition(labels, inc.Labels()) {
+		t.Fatal("seeded labeling does not match the seed")
+	}
+	// A chain over the component roots collapses everything into one.
+	var roots []int32
+	for v, l := range labels {
+		if int32(v) == l {
+			roots = append(roots, int32(v))
+		}
+	}
+	var batch []Edge
+	for i := 1; i < len(roots); i++ {
+		batch = append(batch, Edge{U: roots[i-1], V: roots[i]})
+	}
+	merged, err := inc.Insert(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != len(batch) || inc.Components() != 1 {
+		t.Fatalf("collapse: merged=%d/%d components=%d", merged, len(batch), inc.Components())
+	}
+
+	if _, err := NewIncrementalFromLabels([]int32{1, 0}); err == nil {
+		t.Fatal("non-canonical seed accepted")
+	}
+}
+
+// TestIncrementalCompact exercises the full-recompute hook: after inserts,
+// Compact against an equivalent static graph must preserve the partition,
+// reset the ingestion counter, and advance the epoch.
+func TestIncrementalCompact(t *testing.T) {
+	base := RandomGraph(300, 1, 5)
+	labels, err := ConnectedComponents(base, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncrementalFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := []Edge{{U: 0, V: 150}, {U: 10, V: 250}, {U: 5, V: 99}}
+	if _, err := inc.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Labels()
+
+	// The "same graph plus the inserted edges", built statically.
+	var all []Edge
+	for v := 0; v < base.NumVertices(); v++ {
+		for _, w := range base.Neighbors(int32(v)) {
+			if w > int32(v) {
+				all = append(all, Edge{U: int32(v), V: w})
+			}
+		}
+	}
+	full, err := NewGraph(base.NumVertices(), append(all, extra...), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := inc.Epoch()
+	if err := inc.Compact(full, Options{Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Epoch() != epochBefore+1 {
+		t.Fatalf("Compact epoch: %d -> %d", epochBefore, inc.Epoch())
+	}
+	if inc.Edges() != 0 {
+		t.Fatalf("Compact did not reset the ingestion counter: %d", inc.Edges())
+	}
+	after := inc.Labels()
+	if !graph.SamePartition(before, after) {
+		t.Fatal("Compact changed the partition")
+	}
+	if err := VerifyLabeling(full, after); err != nil {
+		t.Fatal(err)
+	}
+
+	wrong := StarGraph(10)
+	if err := inc.Compact(wrong, Options{}); err == nil {
+		t.Fatal("Compact accepted a graph with a different vertex count")
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"parconn"
+	"parconn/internal/bench/serveload"
+	"parconn/internal/obs/obshttp"
+	"parconn/internal/serve"
+)
+
+// churnFractions are the insert shares the churn benchmark sweeps: a
+// read-mostly mix and a write-heavy one, so both the query path under light
+// mutation and the republish cost under heavy mutation are gated numbers.
+var churnFractions = []float64{0.05, 0.25}
+
+// ChurnInsertBatch is the edges-per-insert request of the churn benchmark.
+const ChurnInsertBatch = 32
+
+// ChurnReport is the top-level schema of BENCH_churn.json: query throughput
+// and insert-batch latency of the incremental serving stack under an
+// interleaved insert/query workload, one result row per insert fraction.
+type ChurnReport struct {
+	GoVersion   string             `json:"go_version"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Env         parconn.Env        `json:"env"`
+	Scale       float64            `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Vertices    int                `json:"vertices"`
+	Edges       int64              `json:"edges"`
+	Algorithm   string             `json:"algorithm"`
+	Concurrency int                `json:"concurrency"`
+	InsertBatch int                `json:"insert_batch"`
+	Results     []serveload.Result `json:"results"`
+}
+
+// ChurnLoadReport boots the connectivity service in-process with the
+// incremental layer enabled, labels the harness's random input, and drives
+// the churn workload against it at each insert fraction. Inserted edges
+// accumulate across fractions (the server state mutates — that is the
+// point), so rows are comparable only to the same row of another report.
+func ChurnLoadReport(cfg Config) (ChurnReport, error) {
+	cfg = cfg.withDefaults()
+	in, err := InputByName("random")
+	if err != nil {
+		return ChurnReport{}, err
+	}
+	g := in.Make(cfg.Scale)
+	alg := parconn.DecompArbHybrid
+	labelStart := time.Now()
+	labels, err := parconn.ConnectedComponents(g, parconn.Options{
+		Algorithm: alg, Procs: cfg.Procs, Seed: cfg.Seed, Recorder: cfg.Recorder,
+	})
+	if err != nil {
+		return ChurnReport{}, err
+	}
+	labelTime := time.Since(labelStart)
+
+	sv := serve.New(serve.Config{})
+	sv.Publish(serve.Labeling{
+		Labels:    labels,
+		Edges:     int64(g.NumEdges()),
+		Algorithm: alg.String(),
+		Source:    fmt.Sprintf("bench:random(scale=%.3g)", cfg.Scale),
+		LabelTime: labelTime,
+	})
+	inc, err := parconn.NewIncrementalFromLabels(labels)
+	if err != nil {
+		return ChurnReport{}, err
+	}
+	sv.EnableIncremental(inc)
+	srv, err := obshttp.ServeHandler("127.0.0.1:0", sv.Handler())
+	if err != nil {
+		return ChurnReport{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	warmup, duration := serveWindows(cfg.Scale)
+	rep := ChurnReport{
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Env:         parconn.CaptureEnv(),
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Vertices:    g.NumVertices(),
+		Edges:       int64(g.NumEdges()),
+		Algorithm:   alg.String(),
+		Concurrency: cfg.Procs,
+		InsertBatch: ChurnInsertBatch,
+	}
+	for _, frac := range churnFractions {
+		res, err := serveload.Run(serveload.Config{
+			BaseURL:        "http://" + srv.Addr().String(),
+			Workload:       serveload.WorkloadChurn,
+			Concurrency:    cfg.Procs,
+			Warmup:         warmup,
+			Duration:       duration,
+			Vertices:       g.NumVertices(),
+			InsertFraction: frac,
+			InsertBatch:    ChurnInsertBatch,
+			Seed:           cfg.Seed,
+		})
+		if err != nil {
+			return ChurnReport{}, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// WriteChurn runs ChurnLoadReport, echoes one summary line per insert
+// fraction to cfg.Out, and writes the report to path.
+func WriteChurn(cfg Config, path string) error {
+	cfg = cfg.withDefaults()
+	rep, err := ChurnLoadReport(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(cfg.Out, "churn f=%.2f c=%-3d %9.0f query qps (p95 %8s)   %7.0f insert qps (p95 %8s)  (%d queries, %d inserts, %d errs)\n",
+			r.InsertFraction, r.Concurrency,
+			r.QPS, time.Duration(r.P95NS),
+			r.InsertQPS, time.Duration(r.InsertP95NS),
+			r.Requests, r.Inserts, r.Errors+r.InsertErrors)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	fmt.Fprintf(cfg.Out, "wrote %s (%d insert fractions)\n", path, len(rep.Results))
+	return nil
+}

@@ -382,12 +382,12 @@ func ExperimentNames() []string {
 	for _, e := range Experiments {
 		names = append(names, e.Name)
 	}
-	return append(names, "json", "speedup", "serve", "all")
+	return append(names, "json", "speedup", "serve", "churn", "all")
 }
 
 // Run executes the named experiment ("all" runs every one in order; "json",
-// "speedup", and "serve" run the machine-readable benchmarks, which are
-// kept out of "all" because they write files next to the tables).
+// "speedup", "serve", and "churn" run the machine-readable benchmarks, which
+// are kept out of "all" because they write files next to the tables).
 func Run(name string, cfg Config) error {
 	if name == "serve" {
 		path := cfg.JSONPath
@@ -395,6 +395,13 @@ func Run(name string, cfg Config) error {
 			path = "BENCH_serve.json"
 		}
 		return WriteServe(cfg, path)
+	}
+	if name == "churn" {
+		path := cfg.JSONPath
+		if path == "" {
+			path = "BENCH_churn.json"
+		}
+		return WriteChurn(cfg, path)
 	}
 	if name == "json" {
 		path := cfg.JSONPath

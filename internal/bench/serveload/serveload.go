@@ -24,7 +24,10 @@ import (
 	"parconn/internal/prand"
 )
 
-// Workloads lists the supported workload names in reporting order.
+// Workloads lists the read-only workload names in reporting order (the set
+// the static "serve" benchmark sweeps). WorkloadChurn is deliberately not
+// in the list: it mutates server state via /v1/insert and is driven by its
+// own "churn" benchmark against an EnableIncremental server.
 var Workloads = []string{WorkloadPoint, WorkloadPair, WorkloadBatch, WorkloadHot}
 
 const (
@@ -38,6 +41,12 @@ const (
 	// HotFraction of requests hit a small hot vertex set (cache-friendly,
 	// contended), the rest are uniform.
 	WorkloadHot = "hot"
+	// WorkloadChurn interleaves mutation with reads: each operation is a
+	// POST /v1/insert of InsertBatch random edges with probability
+	// InsertFraction, otherwise an even mix of point and pair queries.
+	// Inserts and queries are recorded into separate histograms so the
+	// report carries insert-batch latency alongside query QPS.
+	WorkloadChurn = "churn"
 )
 
 // Config drives one load run against a serving endpoint.
@@ -61,6 +70,11 @@ type Config struct {
 	HotFraction float64
 	// HotSet is the hot-set size (0 = 16); hot workload only.
 	HotSet int
+	// InsertFraction is the share of operations that are /v1/insert batches
+	// (0 = 0.1); churn workload only.
+	InsertFraction float64
+	// InsertBatch is edges per insert request (0 = 32); churn workload only.
+	InsertBatch int
 	// Seed drives key generation; worker i uses the stream Split(i).
 	Seed uint64
 	// Client, when non-nil, overrides the pooled HTTP client.
@@ -68,7 +82,10 @@ type Config struct {
 }
 
 // Result is the measured outcome of one load run, JSON-shaped for
-// BENCH_serve.json.
+// BENCH_serve.json and BENCH_churn.json. Requests/QPS and the latency
+// quantiles cover read queries only; the Insert* fields (churn workload
+// only) carry the mutation side, so "query QPS under churn" and
+// "insert-batch P95" are separately gateable numbers.
 type Result struct {
 	Workload    string  `json:"workload"`
 	Concurrency int     `json:"concurrency"`
@@ -81,10 +98,20 @@ type Result struct {
 	P95NS       int64   `json:"p95_ns"`
 	P99NS       int64   `json:"p99_ns"`
 	MaxNS       int64   `json:"max_ns"`
+
+	// Churn workload only.
+	InsertFraction float64 `json:"insert_fraction,omitempty"`
+	InsertBatch    int     `json:"insert_batch,omitempty"`
+	Inserts        int64   `json:"inserts,omitempty"`
+	InsertErrors   int64   `json:"insert_errors,omitempty"`
+	InsertQPS      float64 `json:"insert_qps,omitempty"`
+	InsertP50NS    int64   `json:"insert_p50_ns,omitempty"`
+	InsertP95NS    int64   `json:"insert_p95_ns,omitempty"`
+	InsertP99NS    int64   `json:"insert_p99_ns,omitempty"`
 }
 
 func (c Config) withDefaults() (Config, error) {
-	ok := false
+	ok := c.Workload == WorkloadChurn
 	for _, w := range Workloads {
 		if c.Workload == w {
 			ok = true
@@ -92,7 +119,7 @@ func (c Config) withDefaults() (Config, error) {
 		}
 	}
 	if !ok {
-		return c, fmt.Errorf("serveload: unknown workload %q (have %v)", c.Workload, Workloads)
+		return c, fmt.Errorf("serveload: unknown workload %q (have %v and %q)", c.Workload, Workloads, WorkloadChurn)
 	}
 	if c.BaseURL == "" {
 		return c, fmt.Errorf("serveload: Config.BaseURL is empty")
@@ -118,6 +145,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HotSet > c.Vertices {
 		c.HotSet = c.Vertices
 	}
+	if c.InsertFraction <= 0 || c.InsertFraction >= 1 {
+		c.InsertFraction = 0.1
+	}
+	if c.InsertBatch <= 0 {
+		c.InsertBatch = 32
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{
 			Transport: &http.Transport{
@@ -134,14 +167,31 @@ func (c Config) withDefaults() (Config, error) {
 // worker is one closed-loop load generator: it owns a prand stream and a
 // scratch buffer and issues requests back-to-back until told to stop.
 type worker struct {
-	cfg  Config
-	src  *prand.Source
-	buf  bytes.Buffer
-	hist *obs.Histogram // shared, wait-free
+	cfg        Config
+	src        *prand.Source
+	buf        bytes.Buffer
+	hist       *obs.Histogram // query latency; shared, wait-free
+	insertHist *obs.Histogram // insert latency (churn only); shared, wait-free
 }
 
-// op issues one request and returns whether it succeeded (2xx).
-func (w *worker) op() bool {
+// pairBody fills the scratch buffer with a JSON [[u,v],...] array of count
+// uniform random pairs — the shared body shape of /v1/batch and /v1/insert.
+func (w *worker) pairBody(count int) *bytes.Reader {
+	w.buf.Reset()
+	w.buf.WriteByte('[')
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			w.buf.WriteByte(',')
+		}
+		fmt.Fprintf(&w.buf, "[%d,%d]", w.src.Intn(w.cfg.Vertices), w.src.Intn(w.cfg.Vertices))
+	}
+	w.buf.WriteByte(']')
+	return bytes.NewReader(w.buf.Bytes())
+}
+
+// op issues one request, reporting whether it was an insert (vs a read
+// query) and whether it succeeded (2xx).
+func (w *worker) op() (insert, ok bool) {
 	var (
 		resp *http.Response
 		err  error
@@ -153,16 +203,7 @@ func (w *worker) op() bool {
 		u, v := w.src.Intn(w.cfg.Vertices), w.src.Intn(w.cfg.Vertices)
 		resp, err = w.cfg.Client.Get(w.cfg.BaseURL + "/v1/same?u=" + strconv.Itoa(u) + "&v=" + strconv.Itoa(v))
 	case WorkloadBatch:
-		w.buf.Reset()
-		w.buf.WriteByte('[')
-		for i := 0; i < w.cfg.BatchSize; i++ {
-			if i > 0 {
-				w.buf.WriteByte(',')
-			}
-			fmt.Fprintf(&w.buf, "[%d,%d]", w.src.Intn(w.cfg.Vertices), w.src.Intn(w.cfg.Vertices))
-		}
-		w.buf.WriteByte(']')
-		resp, err = w.cfg.Client.Post(w.cfg.BaseURL+"/v1/batch", "application/json", bytes.NewReader(w.buf.Bytes()))
+		resp, err = w.cfg.Client.Post(w.cfg.BaseURL+"/v1/batch", "application/json", w.pairBody(w.cfg.BatchSize))
 	case WorkloadHot:
 		v := w.src.Intn(w.cfg.Vertices)
 		if w.src.Float64() < w.cfg.HotFraction {
@@ -171,13 +212,23 @@ func (w *worker) op() bool {
 			v = int(prand.Hash64(w.cfg.Seed+uint64(w.src.Intn(w.cfg.HotSet))) % uint64(w.cfg.Vertices))
 		}
 		resp, err = w.cfg.Client.Get(w.cfg.BaseURL + "/v1/component?v=" + strconv.Itoa(v))
+	case WorkloadChurn:
+		if w.src.Float64() < w.cfg.InsertFraction {
+			insert = true
+			resp, err = w.cfg.Client.Post(w.cfg.BaseURL+"/v1/insert", "application/json", w.pairBody(w.cfg.InsertBatch))
+		} else if w.src.Float64() < 0.5 {
+			resp, err = w.cfg.Client.Get(w.cfg.BaseURL + "/v1/component?v=" + strconv.Itoa(w.src.Intn(w.cfg.Vertices)))
+		} else {
+			u, v := w.src.Intn(w.cfg.Vertices), w.src.Intn(w.cfg.Vertices)
+			resp, err = w.cfg.Client.Get(w.cfg.BaseURL + "/v1/same?u=" + strconv.Itoa(u) + "&v=" + strconv.Itoa(v))
+		}
 	}
 	if err != nil {
-		return false
+		return insert, false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode >= 200 && resp.StatusCode < 300
+	return insert, resp.StatusCode >= 200 && resp.StatusCode < 300
 }
 
 // Run executes the configured workload and reports throughput and latency.
@@ -189,29 +240,38 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	var (
-		hist      obs.Histogram
-		requests  atomic.Int64
-		errors    atomic.Int64
-		recording atomic.Bool
-		stop      atomic.Bool
-		wg        sync.WaitGroup
+		hist         obs.Histogram
+		insertHist   obs.Histogram
+		requests     atomic.Int64
+		errors       atomic.Int64
+		inserts      atomic.Int64
+		insertErrors atomic.Int64
+		recording    atomic.Bool
+		stop         atomic.Bool
+		wg           sync.WaitGroup
 	)
 	root := prand.New(cfg.Seed)
 	for i := 0; i < cfg.Concurrency; i++ {
-		w := &worker{cfg: cfg, src: root.Split(uint64(i)), hist: &hist}
+		w := &worker{cfg: cfg, src: root.Split(uint64(i)), hist: &hist, insertHist: &insertHist}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
 				start := time.Now()
-				ok := w.op()
+				insert, ok := w.op()
 				if !recording.Load() {
 					continue
 				}
-				if ok {
+				switch {
+				case ok && insert:
+					inserts.Add(1)
+					w.insertHist.Record(time.Since(start).Nanoseconds())
+				case ok:
 					requests.Add(1)
 					w.hist.Record(time.Since(start).Nanoseconds())
-				} else {
+				case insert:
+					insertErrors.Add(1)
+				default:
 					errors.Add(1)
 				}
 			}
@@ -244,8 +304,22 @@ func Run(cfg Config) (Result, error) {
 		P99NS:       snap.Quantile(0.99),
 		MaxNS:       snap.Max,
 	}
+	if cfg.Workload == WorkloadChurn {
+		isnap := insertHist.Snapshot()
+		res.InsertFraction = cfg.InsertFraction
+		res.InsertBatch = cfg.InsertBatch
+		res.Inserts = inserts.Load()
+		res.InsertErrors = insertErrors.Load()
+		res.InsertQPS = float64(inserts.Load()) / elapsed.Seconds()
+		res.InsertP50NS = isnap.Quantile(0.50)
+		res.InsertP95NS = isnap.Quantile(0.95)
+		res.InsertP99NS = isnap.Quantile(0.99)
+	}
 	if res.Requests == 0 && res.Errors > 0 {
 		return res, fmt.Errorf("serveload: %s: all %d requests failed", cfg.Workload, res.Errors)
+	}
+	if res.Inserts == 0 && res.InsertErrors > 0 {
+		return res, fmt.Errorf("serveload: %s: all %d inserts failed", cfg.Workload, res.InsertErrors)
 	}
 	return res, nil
 }

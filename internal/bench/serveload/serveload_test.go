@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"parconn"
 	"parconn/internal/prand"
 	"parconn/internal/serve"
 )
@@ -23,6 +24,11 @@ func testServer(t *testing.T) (*httptest.Server, int) {
 	}
 	sv := serve.New(serve.Config{})
 	sv.Publish(serve.Labeling{Labels: labels, Edges: int64(n) - 2, Algorithm: "test", Source: "test"})
+	inc, err := parconn.NewIncrementalFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.EnableIncremental(inc)
 	ts := httptest.NewServer(sv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, n
@@ -59,6 +65,62 @@ func TestRunEveryWorkload(t *testing.T) {
 		if res.P50NS <= 0 || res.P95NS < res.P50NS || res.P99NS < res.P95NS || res.MaxNS < res.P99NS {
 			t.Fatalf("%s: non-monotone quantiles %+v", w, res)
 		}
+	}
+}
+
+// TestRunChurn drives the mutating workload against a server with the
+// incremental layer enabled and checks both halves of the result: query
+// metrics and insert metrics, with no failures on either path.
+func TestRunChurn(t *testing.T) {
+	ts, n := testServer(t)
+	res, err := Run(Config{
+		BaseURL:        ts.URL,
+		Workload:       WorkloadChurn,
+		Concurrency:    4,
+		Warmup:         20 * time.Millisecond,
+		Duration:       150 * time.Millisecond,
+		Vertices:       n,
+		InsertFraction: 0.5, // high share so the short window still inserts
+		InsertBatch:    4,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != WorkloadChurn || res.InsertFraction != 0.5 || res.InsertBatch != 4 {
+		t.Fatalf("result meta %+v", res)
+	}
+	if res.Requests == 0 || res.Inserts == 0 {
+		t.Fatalf("no traffic on one path: %d queries, %d inserts", res.Requests, res.Inserts)
+	}
+	if res.Errors != 0 || res.InsertErrors != 0 {
+		t.Fatalf("errors: %d query, %d insert", res.Errors, res.InsertErrors)
+	}
+	if res.InsertQPS <= 0 || res.InsertP50NS <= 0 || res.InsertP95NS < res.InsertP50NS || res.InsertP99NS < res.InsertP95NS {
+		t.Fatalf("insert metrics inconsistent: %+v", res)
+	}
+}
+
+// TestRunChurnWithoutIncremental pins the failure mode when the target
+// server has no incremental layer: every insert 501s, and Run reports it as
+// an error rather than a silent zero.
+func TestRunChurnWithoutIncremental(t *testing.T) {
+	const n = 50
+	labels := make([]int32, n)
+	sv := serve.New(serve.Config{})
+	sv.Publish(serve.Labeling{Labels: labels, Edges: 0, Algorithm: "test", Source: "test"})
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(ts.Close)
+	res, err := Run(Config{
+		BaseURL:        ts.URL,
+		Workload:       WorkloadChurn,
+		Duration:       100 * time.Millisecond,
+		Vertices:       n,
+		InsertFraction: 0.9,
+		Seed:           3,
+	})
+	if err == nil || !strings.Contains(err.Error(), "inserts failed") {
+		t.Fatalf("disabled incremental layer: err=%v res=%+v", err, res)
 	}
 }
 

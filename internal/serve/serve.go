@@ -15,11 +15,22 @@
 //	GET  /v1/component?v=ID      component label of one vertex
 //	GET  /v1/same?u=ID&v=ID      whether two vertices share a component
 //	POST /v1/batch               body [[u,v],...]: same-component per pair
+//	POST /v1/insert              body [[u,v],...]: insert an edge batch into
+//	                             the incremental layer and republish the
+//	                             labeling (EnableIncremental servers only)
 //	GET  /v1/stats               graph/labeling summary: component count,
 //	                             size histogram, top-k sizes, endpoint
 //	                             latency quantiles
 //	GET  /v1/healthz             200 once the labeling is published, 503
 //	                             while loading
+//
+// A server with EnableIncremental attached is no longer read-only: each
+// accepted /v1/insert batch applies lock-free unions in the
+// parconn.Incremental layer, takes a consistent snapshot, and republishes
+// it through the same atomic-pointer path — queries keep reading an
+// immutable labeling, writers only ever swap in a newer one (epochs are
+// monotone, so two racing inserts can never publish an older labeling over
+// a newer one).
 package serve
 
 import (
@@ -30,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parconn"
 	"parconn/internal/graph"
 	"parconn/internal/obs"
 )
@@ -45,6 +57,7 @@ const (
 	EndpointComponent = "component"
 	EndpointSame      = "same"
 	EndpointBatch     = "batch"
+	EndpointInsert    = "insert"
 	EndpointStats     = "stats"
 )
 
@@ -71,6 +84,7 @@ type Labeling struct {
 // published is the precomputed read-side state derived from one Labeling.
 type published struct {
 	lab        Labeling
+	epoch      uint64 // incremental generation (0 for a Publish-ed labeling)
 	components int
 	sizes      map[int32]int // label -> component size
 	top        []graph.ComponentSize
@@ -80,10 +94,14 @@ type published struct {
 
 // Server answers connectivity queries over a published Labeling. Create
 // with New, mount Handler, then Publish the labeling when it is ready.
+// EnableIncremental additionally activates /v1/insert, which mutates the
+// labeling through a parconn.Incremental and republishes.
 type Server struct {
-	cfg Config
-	pub atomic.Pointer[published]
-	lat map[string]*obs.Histogram // per-endpoint request latency, ns
+	cfg     Config
+	pub     atomic.Pointer[published]
+	inc     atomic.Pointer[parconn.Incremental]
+	incBase atomic.Int64              // Labeling.Edges at EnableIncremental time
+	lat     map[string]*obs.Histogram // per-endpoint request latency, ns
 }
 
 // New returns a Server that is not yet ready: queries answer 503 until
@@ -101,8 +119,28 @@ func New(cfg Config) *Server {
 			EndpointComponent: {},
 			EndpointSame:      {},
 			EndpointBatch:     {},
+			EndpointInsert:    {},
 			EndpointStats:     {},
 		},
+	}
+}
+
+// newPublished precomputes the read-side state of one labeling.
+func (s *Server) newPublished(lab Labeling, epoch uint64) *published {
+	count, top := graph.ComponentSummary(lab.Labels, s.cfg.TopK)
+	sizes := graph.ComponentSizesOf(lab.Labels)
+	var hist obs.Histogram
+	for _, sz := range sizes {
+		hist.Record(int64(sz))
+	}
+	return &published{
+		lab:        lab,
+		epoch:      epoch,
+		components: count,
+		sizes:      sizes,
+		top:        top,
+		sizeHist:   hist.Snapshot(),
+		since:      time.Now(), //parconn:allow norand uptime stopwatch for /v1/stats; no algorithmic randomness
 	}
 }
 
@@ -111,24 +149,46 @@ func New(cfg Config) *Server {
 // lab.Labels afterwards. Publishing again replaces the labeling atomically
 // (in-flight requests finish against whichever version they loaded).
 func (s *Server) Publish(lab Labeling) {
-	count, top := graph.ComponentSummary(lab.Labels, s.cfg.TopK)
-	sizes := graph.ComponentSizesOf(lab.Labels)
-	var hist obs.Histogram
-	for _, sz := range sizes {
-		hist.Record(int64(sz))
-	}
-	s.pub.Store(&published{
-		lab:        lab,
-		components: count,
-		sizes:      sizes,
-		top:        top,
-		sizeHist:   hist.Snapshot(),
-		since:      time.Now(), //parconn:allow norand uptime stopwatch for /v1/stats; no algorithmic randomness
-	})
+	s.pub.Store(s.newPublished(lab, 0))
 }
 
 // Ready reports whether a labeling has been published.
 func (s *Server) Ready() bool { return s.pub.Load() != nil }
+
+// EnableIncremental attaches the mutable connectivity layer behind
+// /v1/insert. Call it after Publish-ing the labeling inc was seeded from:
+// the current labeling's edge count becomes the base that insert batches
+// add to. Until this is called, /v1/insert answers 501.
+func (s *Server) EnableIncremental(inc *parconn.Incremental) {
+	if p := s.pub.Load(); p != nil {
+		s.incBase.Store(p.lab.Edges)
+	}
+	s.inc.Store(inc)
+}
+
+// republish swaps in the read-side state of one incremental snapshot,
+// keeping the published epoch monotone: two racing inserts republish in
+// some order, but a reader can never observe the labeling move backwards.
+// The stats view is computed once, outside the CAS loop.
+func (s *Server) republish(snap *parconn.IncrementalSnapshot) {
+	var np *published
+	for {
+		p := s.pub.Load()
+		if p == nil || p.epoch >= snap.Epoch {
+			return
+		}
+		if np == nil {
+			lab := p.lab
+			lab.Labels = snap.Labels
+			lab.Edges = s.incBase.Load() + snap.Edges
+			np = s.newPublished(lab, snap.Epoch)
+		}
+		if s.pub.CompareAndSwap(p, np) {
+			return
+		}
+		np = nil // a racing publish won; rebuild against the fresh state
+	}
+}
 
 // LatencySnapshot returns the per-endpoint request-latency histograms
 // (nanoseconds), keyed by the Endpoint* constants.
@@ -147,6 +207,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/component", s.timed(EndpointComponent, s.serveComponent))
 	mux.HandleFunc("/v1/same", s.timed(EndpointSame, s.serveSame))
 	mux.HandleFunc("/v1/batch", s.timed(EndpointBatch, s.serveBatch))
+	mux.HandleFunc("/v1/insert", s.timed(EndpointInsert, s.serveInsert))
 	mux.HandleFunc("/v1/stats", s.timed(EndpointStats, s.serveStats))
 	mux.HandleFunc("/v1/healthz", s.serveHealthz)
 	return mux
@@ -309,6 +370,63 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResponse{Count: len(same), Same: same})
 }
 
+// insertResponse answers /v1/insert: how many edges the batch carried, how
+// many merged two components, and the generation + component count after
+// the batch (from the consistent snapshot the republished labeling uses).
+type insertResponse struct {
+	Inserted   int    `json:"inserted"`
+	Merged     int    `json:"merged"`
+	Epoch      uint64 `json:"epoch"`
+	Components int    `json:"components"`
+}
+
+func (s *Server) serveInsert(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.loaded(w) == nil {
+		return
+	}
+	inc := s.inc.Load()
+	if inc == nil {
+		writeError(w, http.StatusNotImplemented, "incremental updates not enabled")
+		return
+	}
+	var pairs [][2]int64
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err := dec.Decode(&pairs); err != nil {
+		writeError(w, http.StatusBadRequest, "body: want JSON [[u,v],...]: %v", err)
+		return
+	}
+	if len(pairs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d edges exceeds limit %d", len(pairs), s.cfg.MaxBatch)
+		return
+	}
+	n := int64(inc.Vertices())
+	edges := make([]parconn.Edge, len(pairs))
+	for i, pr := range pairs {
+		if pr[0] < 0 || pr[0] >= n || pr[1] < 0 || pr[1] >= n {
+			writeError(w, http.StatusNotFound, "edge %d: vertex outside [0, %d)", i, n)
+			return
+		}
+		edges[i] = parconn.Edge{U: int32(pr[0]), V: int32(pr[1])}
+	}
+	merged, err := inc.Insert(edges)
+	if err != nil {
+		// Unreachable after the range check above, but never 500 on input.
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	snap := inc.Snapshot()
+	s.republish(snap)
+	writeJSON(w, http.StatusOK, insertResponse{
+		Inserted:   len(edges),
+		Merged:     merged,
+		Epoch:      snap.Epoch,
+		Components: snap.Components,
+	})
+}
+
 // endpointLatency is one endpoint's latency summary inside statsResponse.
 type endpointLatency struct {
 	Count  int64 `json:"count"`
@@ -324,6 +442,7 @@ type statsResponse struct {
 	Vertices      int                        `json:"vertices"`
 	Edges         int64                      `json:"edges"`
 	Components    int                        `json:"components"`
+	Epoch         uint64                     `json:"epoch"`
 	Algorithm     string                     `json:"algorithm"`
 	Source        string                     `json:"source,omitempty"`
 	LoadMS        float64                    `json:"load_ms"`
@@ -357,6 +476,7 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 		Vertices:      len(p.lab.Labels),
 		Edges:         p.lab.Edges,
 		Components:    p.components,
+		Epoch:         p.epoch,
 		Algorithm:     p.lab.Algorithm,
 		Source:        p.lab.Source,
 		LoadMS:        float64(p.lab.LoadTime.Microseconds()) / 1000,

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"parconn"
 )
 
 // testLabeling is two components: evens (label 0) and odds (label 1) over
@@ -298,6 +300,188 @@ func TestConcurrentMixedQueries(t *testing.T) {
 	}
 	if total != workers*perWorker {
 		t.Fatalf("latency histograms recorded %d requests, want %d", total, workers*perWorker)
+	}
+}
+
+// newIncrementalServer is newReadyServer with the incremental layer
+// attached, so /v1/insert is live.
+func newIncrementalServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, ts := newReadyServer(t)
+	inc, err := parconn.NewIncrementalFromLabels(testLabeling().Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableIncremental(inc)
+	return s, ts
+}
+
+func postInsert(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/insert", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, b
+}
+
+// TestInsert covers the /v1/insert contract: disabled servers answer 501,
+// merges republish the labeling so /v1/same flips without a restart, and
+// input errors map to the same status codes as /v1/batch.
+func TestInsert(t *testing.T) {
+	// Without EnableIncremental the endpoint is declared-but-disabled.
+	_, ro := newReadyServer(t)
+	if resp, _ := postInsert(t, ro, "[[0,6]]"); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("read-only server: status %d want 501", resp.StatusCode)
+	}
+
+	_, ts := newIncrementalServer(t)
+
+	// The two components of testLabeling are disjoint until this insert.
+	var same sameResponse
+	if code := getJSON(t, ts.URL+"/v1/same?u=0&v=6", &same); code != http.StatusOK || same.Same {
+		t.Fatalf("before insert: %d %+v", code, same)
+	}
+	resp, body := postInsert(t, ts, "[[2,7],[3,3]]")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %d %s", resp.StatusCode, body)
+	}
+	var ir insertResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Inserted != 2 || ir.Merged != 1 || ir.Epoch != 1 || ir.Components != 1 {
+		t.Fatalf("insert response %+v", ir)
+	}
+	// The merge is immediately visible to readers through the republished
+	// labeling, and /v1/stats reports the new epoch and component count.
+	if code := getJSON(t, ts.URL+"/v1/same?u=0&v=6", &same); code != http.StatusOK || !same.Same {
+		t.Fatalf("after insert: %d %+v", code, same)
+	}
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Components != 1 || st.Epoch != 1 {
+		t.Fatalf("stats after insert: components=%d epoch=%d", st.Components, st.Epoch)
+	}
+	if st.Edges != testLabeling().Edges+2 {
+		t.Fatalf("stats edges after insert: %d", st.Edges)
+	}
+
+	// Input errors mirror /v1/batch.
+	if resp, _ := postInsert(t, ts, "{nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", resp.StatusCode)
+	}
+	if resp, _ := postInsert(t, ts, "[[0,10]]"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range edge: %d", resp.StatusCode)
+	}
+	if resp, _ := postInsert(t, ts, "[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9]]"); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: %d", resp.StatusCode)
+	}
+	// Method confusion is 405.
+	respGet, err := http.Get(ts.URL + "/v1/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respGet.Body.Close()
+	if respGet.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET insert: %d", respGet.StatusCode)
+	}
+}
+
+// TestConcurrentInsertAndQuery races writers on /v1/insert against readers
+// on /v1/same and /v1/stats; under -race this exercises the whole
+// insert -> snapshot -> republish path against lock-free readers. Inserted
+// edges stay within the even component, so reader answers are stable.
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	_, ts := newIncrementalServer(t)
+
+	const writers, readers, ops = 4, 4, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < ops; i++ {
+				u, v := (2*i+2*w)%6, (2*i+2*w+2)%6 // even vertices: label-0 component
+				body := fmt.Sprintf("[[%d,%d]]", u, v)
+				resp, err := client.Post(ts.URL+"/v1/insert", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d op %d: status %d", w, i, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			client := ts.Client()
+			lastEpoch := uint64(0)
+			for i := 0; i < ops; i++ {
+				// Same-component answers never change: the inserts only
+				// re-link vertices already labeled 0.
+				var same sameResponse
+				resp, err := client.Get(fmt.Sprintf("%s/v1/same?u=%d&v=%d", ts.URL, 2*(i%3), 9))
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d op %d: status %d", r, i, resp.StatusCode)
+					return
+				}
+				if err := json.Unmarshal(body, &same); err != nil {
+					errs <- err
+					return
+				}
+				if same.Same {
+					errs <- fmt.Errorf("reader %d op %d: cross-component pair reported same", r, i)
+					return
+				}
+				// Epochs visible through /v1/stats never regress.
+				var st statsResponse
+				resp, err = client.Get(ts.URL + "/v1/stats")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ = io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := json.Unmarshal(body, &st); err != nil {
+					errs <- err
+					return
+				}
+				if st.Epoch < lastEpoch {
+					errs <- fmt.Errorf("reader %d: epoch regressed %d -> %d", r, lastEpoch, st.Epoch)
+					return
+				}
+				lastEpoch = st.Epoch
+				if st.Components != 2 {
+					errs <- fmt.Errorf("reader %d: components = %d, want 2", r, st.Components)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

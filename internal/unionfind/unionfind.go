@@ -5,7 +5,11 @@
 // style of Patwary, Refsnes, Manne (parallel-SF-PRM).
 package unionfind
 
-import "sync/atomic"
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
 
 // Serial is a sequential union-find with union by rank and path halving —
 // the structure inside the paper's serial-SF baseline.
@@ -64,6 +68,67 @@ func NewConcurrent(n int) *Concurrent {
 		c.parent[i] = int32(i)
 	}
 	return c
+}
+
+// NewConcurrentFromLabels returns a structure seeded from a canonical
+// connected-components labeling (labels[l] == l for every label l in use):
+// vertices sharing a label start in one set rooted at the label's canonical
+// vertex, so every seeded parent chain has depth at most one. This is the
+// bridge from a from-scratch decomp-CC answer array to an incremental
+// structure: the labeling is the perfect union-find initializer, one root
+// per component.
+//
+// Seeding relaxes the identity-init invariant parent[v] <= v (a canonical
+// label may exceed the vertices it labels), but the structure stays acyclic
+// and lock-free for the same reasons: non-root parents only change by path
+// halving (pointing strictly closer to a root), and Union links roots by id
+// with the higher-id root placed under the lower — the root set only ever
+// shrinks toward smaller ids, exactly the Liu–Tarjan concurrent union-find
+// discipline (arXiv:1812.06177).
+func NewConcurrentFromLabels(labels []int32) (*Concurrent, error) {
+	n := len(labels)
+	if n > math.MaxInt32 {
+		// Vertex ids are int32 throughout the library (the paper's graphs
+		// top out well under 2^31 vertices), so the forest is too.
+		return nil, fmt.Errorf("unionfind: %d vertices exceed the int32 id space", n)
+	}
+	c := &Concurrent{parent: make([]int32, n)}
+	for i, l := range labels {
+		if l < 0 || int(l) >= n || labels[l] != l {
+			return nil, fmt.Errorf("unionfind: labels not canonical at vertex %d (label %d)", i, l)
+		}
+		//parconn:allow mixedatomic pre-publication init; the constructor returns before any concurrent use
+		c.parent[i] = l
+	}
+	return c, nil
+}
+
+// Len returns the number of vertices the structure covers.
+func (c *Concurrent) Len() int { return len(c.parent) }
+
+// Validate checks the structural invariants that every reachable state of
+// the lock-free protocol maintains: parent chains are acyclic (every walk
+// reaches a self-loop root within n steps). It is for tests and fuzzing,
+// not hot paths, and must not run concurrently with Union.
+func (c *Concurrent) Validate() error {
+	n := int32(len(c.parent)) //parconn:allow conversioncheck every constructor bounds the forest at 2^31-1 vertices (ids are int32)
+	for v := int32(0); v < n; v++ {
+		x := v
+		for steps := int32(0); ; steps++ {
+			if steps > n {
+				return fmt.Errorf("unionfind: parent cycle reachable from vertex %d", v)
+			}
+			p := atomic.LoadInt32(&c.parent[x])
+			if p < 0 || p >= n {
+				return fmt.Errorf("unionfind: parent[%d] = %d outside [0, %d)", x, p, n)
+			}
+			if p == x {
+				break
+			}
+			x = p
+		}
+	}
+	return nil
 }
 
 // Find returns the current root of x's set. Concurrent unions may change

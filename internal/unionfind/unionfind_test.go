@@ -222,3 +222,119 @@ func BenchmarkSerialUnion1M(b *testing.B) {
 		}
 	}
 }
+
+// TestNewConcurrentFromLabels covers the labeling-seeded constructor: the
+// seeded partition must match the labeling, non-canonical or out-of-range
+// labelings must be rejected, and unions on the seeded structure must
+// behave exactly like unions on an identity-seeded structure whose
+// components were pre-merged.
+func TestNewConcurrentFromLabels(t *testing.T) {
+	// Canonical labeling with non-minimal roots: component {0,1,5} rooted
+	// at 5, {2,4} rooted at 4, {3} alone.
+	labels := []int32{5, 5, 4, 3, 4, 5}
+	c, err := NewConcurrentFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != len(labels) {
+		t.Fatalf("Len() = %d, want %d", c.Len(), len(labels))
+	}
+	got := make([]int32, len(labels))
+	for i := range got {
+		got[i] = c.Find(int32(i))
+	}
+	if !samePartition(labels, got) {
+		t.Fatalf("seeded partition drifted: %v vs %v", labels, got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-inserting an intra-component edge is a no-op; a bridge merges.
+	if c.Union(0, 1) {
+		t.Fatal("intra-component union reported new")
+	}
+	if !c.Union(1, 2) {
+		t.Fatal("bridge union reported duplicate")
+	}
+	if c.Find(0) != c.Find(4) {
+		t.Fatal("bridge did not merge the seeded components")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, bad := range map[string][]int32{
+		"non-canonical": {1, 2, 2},  // labels[0] = 1 but labels[1] = 2: label 1 is not its own root
+		"out-of-range":  {0, 7, 2},  // 7 outside [0,3)
+		"negative":      {0, -1, 2}, // -1 outside [0,3)
+	} {
+		if _, err := NewConcurrentFromLabels(bad); err == nil {
+			t.Fatalf("%s labeling accepted: %v", name, bad)
+		}
+	}
+}
+
+// TestValidateDetectsCycle pins that Validate is a real check, not a
+// tautology: a hand-corrupted parent cycle must be reported.
+func TestValidateDetectsCycle(t *testing.T) {
+	c := NewConcurrent(4)
+	c.parent[2] = 3
+	c.parent[3] = 2
+	if err := c.Validate(); err == nil {
+		t.Fatal("parent cycle not detected")
+	}
+}
+
+// TestSeededConcurrentUnions stress-merges a label-seeded structure from
+// many goroutines and checks the final partition against a serial replay.
+func TestSeededConcurrentUnions(t *testing.T) {
+	const n = 2000
+	src := prand.New(7)
+	// Random canonical seed labeling: group vertices into blocks of 4.
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i - i%4)
+	}
+	ops := make([][2]int32, 1500)
+	for i := range ops {
+		ops[i] = [2]int32{src.Int31n(n), src.Int31n(n)}
+	}
+	ref := NewSerial(n)
+	for i := 0; i < n; i++ {
+		ref.Union(int32(i), labels[i])
+	}
+	for _, op := range ops {
+		ref.Union(op[0], op[1])
+	}
+	want := make([]int32, n)
+	for i := range want {
+		want[i] = ref.Find(int32(i))
+	}
+
+	c, err := NewConcurrentFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ops); i += workers {
+				c.Union(ops[i][0], ops[i][1])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int32, n)
+	for i := range got {
+		got[i] = c.Find(int32(i))
+	}
+	if !samePartition(want, got) {
+		t.Fatal("seeded concurrent partition mismatch vs serial replay")
+	}
+}
