@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-smoke speedup-smoke trace-smoke trace-regression serve-smoke serve-regression churn-smoke churn-regression vet check fmt fmt-check repro repro-quick examples clean
+.PHONY: all build test race race-short bench bench-smoke speedup-smoke trace-smoke trace-regression serve-smoke serve-regression churn-smoke churn-regression metrics-smoke slo-regression vet check fmt fmt-check repro repro-quick examples clean
 
 all: check test build
 
@@ -98,6 +98,27 @@ churn-regression:
 # Refresh the committed churn baseline (run on a quiet machine).
 BENCH_churn.json:
 	$(GO) run ./cmd/bench -experiment churn -scale 0.1 -procs 2 -seed 42 -json $@
+
+# Metrics smoke: boot connserve with span sampling on every request, drive
+# each endpoint class (queries, batch, a 4xx, an insert), and assert the
+# /metrics exposition carries the request counters, error taxonomy, rolling
+# latency quantiles, and runtime series — plus a JSONL span trace that
+# validates against the schema.
+metrics-smoke:
+	$(GO) test -run 'TestMetricsEndpoint' -count=1 ./cmd/connserve
+
+# Re-measure SLO attainment (the fraction of scrape windows whose rolling
+# P99 stayed under the 25ms default target, graded live off /metrics during
+# the load run) for the serving and churn benchmarks, and gate against the
+# committed baselines' attainment columns. Attainment is a fraction of the
+# run's own windows, not an absolute time, so unlike serve-regression this
+# gate is meaningful across machines of similar class; rows recorded
+# without SLO data are skipped.
+slo-regression:
+	$(GO) run ./cmd/bench -experiment serve -scale 0.1 -procs 2 -seed 42 -json /tmp/parconn-serve-slo.json
+	$(GO) run ./cmd/tracestat slo BENCH_serve.json /tmp/parconn-serve-slo.json
+	$(GO) run ./cmd/bench -experiment churn -scale 0.1 -procs 2 -seed 42 -json /tmp/parconn-churn-slo.json
+	$(GO) run ./cmd/tracestat slo BENCH_churn.json /tmp/parconn-churn-slo.json
 
 # parconnvet fails on active findings AND on stale //parconn:allow
 # suppressions (an allow that matches no finding is itself a finding).

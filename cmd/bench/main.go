@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonPath   = fs.String("json", "", "output path for the json/speedup/serve experiments (default BENCH_<experiment>.json)")
 		tracePath  = fs.String("trace", "", "write a JSONL observability trace of every timed run (perturbs timings)")
 		httpAddr   = fs.String("http", "", "serve /debug/parconn, /debug/vars, and /debug/pprof on this address while experiments run")
+		sloTarget  = fs.Duration("slo", 0, "rolling-P99 SLO target graded during serve/churn runs (0 = 25ms default; gated by tracestat slo)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,12 +81,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := bench.Config{
-		Scale:    *scale,
-		Trials:   *trials,
-		Seed:     *seed,
-		Out:      stdout,
-		CSVDir:   *csvDir,
-		JSONPath: *jsonPath,
+		Scale:        *scale,
+		Trials:       *trials,
+		Seed:         *seed,
+		Out:          stdout,
+		CSVDir:       *csvDir,
+		JSONPath:     *jsonPath,
+		SLOTargetP99: *sloTarget,
 	}
 	// -procs is a single bound for most experiments; a comma list makes it
 	// the explicit sweep of the "speedup" experiment (and bounds the rest

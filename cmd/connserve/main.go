@@ -11,8 +11,15 @@
 // Endpoints: GET /v1/component?v=, GET /v1/same?u=&v=, POST /v1/batch,
 // POST /v1/insert (batched edge insertion into the incremental layer,
 // unless -incremental=false), GET /v1/stats, GET /v1/healthz (see
-// internal/serve), plus the obshttp debug surface (/debug/parconn,
-// /debug/vars, /debug/pprof/) fed by the labeling run.
+// internal/serve), GET /metrics (Prometheus text: request counters, error
+// taxonomy, rolling latency quantiles, runtime series), plus the obshttp
+// debug surface (/debug/parconn, /debug/vars, /debug/pprof/) fed by the
+// labeling run.
+//
+// Every /v1 request carries a Parconn-Trace-Id response header (client
+// value echoed when supplied); one request in -span-sample is recorded as
+// a span in the flight recorder and, with -request-trace FILE, appended as
+// JSONL for offline analysis.
 //
 // Usage:
 //
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"parconn"
+	"parconn/internal/obs"
 	"parconn/internal/obs/obshttp"
 	"parconn/internal/serve"
 )
@@ -67,6 +75,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		topK     = fs.Int("top", 5, "largest components reported by /v1/stats")
 		incr     = fs.Bool("incremental", true, "enable /v1/insert batched edge insertion over the labeling")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		sample   = fs.Int("span-sample", 1024, "head-sample one request span per N requests (0 disables spans)")
+		traceOut = fs.String("request-trace", "", "also append sampled request spans to this JSONL file (default: flight recorder only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,8 +98,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	sv := serve.New(serve.Config{MaxBatch: *maxBatch, TopK: *topK})
+	// Sampled request spans always land in the flight recorder (visible at
+	// /debug/parconn); -request-trace additionally appends them to a JSONL
+	// file for offline tooling.
 	state := obshttp.NewState("cmd/connserve", 0)
+	spanSinks := []obs.SpanRecorder{state.Flight}
+	var traceFile *os.File
+	var traceWriter *obs.JSONLWriter
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		traceWriter = obs.NewJSONLWriter(traceFile)
+		spanSinks = append(spanSinks, traceWriter)
+	}
+	observer := serve.NewObserver(serve.ObserverConfig{
+		Metrics:     state.Metrics,
+		Spans:       obs.MultiSpan(spanSinks...),
+		SampleEvery: *sample,
+	})
+	sv := serve.New(serve.Config{MaxBatch: *maxBatch, TopK: *topK, Observer: observer, Metrics: state.Metrics})
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", sv.Handler())
 	mux.Handle("/", state.Handler())
@@ -152,6 +182,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := srv.Shutdown(shCtx); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if traceWriter != nil {
+		// Flush after the drain so the file carries every sampled span.
+		if err := traceWriter.Flush(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 	return 0
 }

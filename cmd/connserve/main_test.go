@@ -7,10 +7,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"parconn/internal/obs"
+	"parconn/internal/obs/metrics"
 )
 
 // syncBuffer lets the test read run's stdout while run is still writing.
@@ -465,5 +470,160 @@ func TestShutdownWhileDrainingInFlight(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("run did not return")
+	}
+}
+
+// TestMetricsEndpoint is the metrics-smoke check: boot the full server,
+// drive a little traffic, scrape /metrics, and validate both the exposition
+// format and the presence of every required series family — request
+// counters, error taxonomy, rolling quantile gauges, cumulative duration
+// histograms, and runtime metrics. It also pins the trace-ID header and the
+// -request-trace JSONL span file end to end.
+func TestMetricsEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	traceFile := filepath.Join(t.TempDir(), "spans.jsonl")
+	out := &syncBuffer{}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-gen", "line", "-n", "1000",
+			"-span-sample", "1", "-request-trace", traceFile,
+		}, out, io.Discard)
+	}()
+	var base string
+	waitFor(t, 10*time.Second, "listen announcement", func() bool {
+		s := out.String()
+		i := strings.Index(s, "listening on http://")
+		if i < 0 {
+			return false
+		}
+		base = strings.TrimSpace(strings.SplitN(s[i+len("listening on "):], " ", 2)[0])
+		return true
+	})
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitFor(t, 20*time.Second, "readiness", func() bool {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// Traffic: point queries, a batch, one taxonomy error (bad param), and
+	// an insert (epoch-carrying span).
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/component?v=%d", base, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("Parconn-Trace-Id"); got == "" {
+			t.Fatal("no trace ID on /v1/component response")
+		}
+	}
+	resp, err := client.Post(base+"/v1/batch", "application/json", strings.NewReader("[[0,1],[2,3]]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = client.Get(base + "/v1/component?v=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad param: status %d", resp.StatusCode)
+	}
+	resp, err = client.Post(base+"/v1/insert", "application/json", strings.NewReader("[[0,500]]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: status %d", resp.StatusCode)
+	}
+
+	// Scrape and validate.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("/metrics content-type %q, want %q", ct, metrics.ContentType)
+	}
+	parsed, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics body does not parse: %v", err)
+	}
+	expect := map[string]float64{
+		`parconn_http_requests_total{endpoint="component"}`:                 6,
+		`parconn_http_requests_total{endpoint="batch"}`:                     1,
+		`parconn_http_requests_total{endpoint="insert"}`:                    1,
+		`parconn_http_errors_total{endpoint="component",class="4xx"}`:       1,
+		`parconn_http_request_duration_seconds_count{endpoint="component"}`: 6,
+		`parconn_http_spans_sampled_total`:                                  8,
+		`parconn_ready`:                                                     1,
+		`parconn_published_epoch`:                                           1,
+	}
+	for key, want := range expect {
+		got, ok := parsed[key]
+		if !ok {
+			t.Errorf("/metrics missing %s", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+	for _, key := range []string{
+		`parconn_http_rolling_latency_seconds{endpoint="component",quantile="0.5"}`,
+		`parconn_http_rolling_latency_seconds{endpoint="component",quantile="0.95"}`,
+		`parconn_http_rolling_latency_seconds{endpoint="component",quantile="0.99"}`,
+		`parconn_http_errors_total{endpoint="insert",class="read_only"}`,
+		`parconn_http_inflight_requests`,
+		"parconn_goroutines",
+		"parconn_heap_inuse_bytes",
+		"parconn_gc_pause_seconds_total",
+	} {
+		if _, ok := parsed[key]; !ok {
+			t.Errorf("/metrics missing %s", key)
+		}
+	}
+	if parsed[`parconn_http_rolling_latency_seconds{endpoint="component",quantile="0.99"}`] <= 0 {
+		t.Error("rolling P99 is zero right after traffic")
+	}
+
+	// Shutdown flushes the span trace; every request above was sampled.
+	cancel()
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("run exit=%d", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return")
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := obs.ValidateJSONL(f)
+	if err != nil {
+		t.Fatalf("span trace invalid: %v", err)
+	}
+	if sum.Spans != 8 {
+		t.Fatalf("span trace holds %d spans, want 8", sum.Spans)
 	}
 }

@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runServe(args[1:], stdout, stderr)
 	case "churn":
 		return runChurn(args[1:], stdout, stderr)
+	case "slo":
+		return runSlo(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "tracestat: unknown subcommand %q\n", args[0])
 		usage(stderr)
@@ -70,6 +72,7 @@ func usage(w io.Writer) {
   tracestat speedup [-algorithm NAME] [-efficiency-floor F] BENCH_speedup.json
   tracestat serve [-tol N] [-floor DUR] BASE_serve.json NEW_serve.json
   tracestat churn [-tol N] [-floor DUR] BASE_churn.json NEW_churn.json
+  tracestat slo [-min F] [-drop F] BASE.json NEW.json
 
 BASE is either a JSONL trace or a BENCH_parconn.json benchmark report
 (detected by shape). Speedup gates a cmd/bench -experiment speedup report:
@@ -77,7 +80,10 @@ every point of the gated algorithm must reach the efficiency floor. Serve
 diffs two cmd/bench -experiment serve reports per workload: latency
 quantiles regress past base*tol (above the floor), QPS regresses below
 base/tol. Churn does the same per insert fraction of two cmd/bench
--experiment churn reports, gating query QPS plus insert-batch latency.
+-experiment churn reports, gating query QPS plus insert-batch latency. Slo
+diffs the SLO-attainment columns of two serve or churn reports: a row
+regresses when its attainment falls below -min or drops more than -drop
+from the baseline; rows without SLO data (slo_windows 0) are skipped.
 `)
 }
 
@@ -843,6 +849,141 @@ func runChurn(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "tracestat: no churn regressions across %d insert fraction(s) (tolerance %.2fx, floor %v)\n",
 		compared, *tol, *floor)
+	return 0
+}
+
+// sloReport mirrors the SLO-attainment subset shared by BENCH_serve.json
+// and BENCH_churn.json (local for the same reason as serveReport). Rows are
+// keyed by workload, qualified by insert fraction when present, so one
+// subcommand gates both report shapes.
+type sloReport struct {
+	Env     parconn.Env `json:"env"`
+	Results []struct {
+		Workload       string  `json:"workload"`
+		InsertFraction float64 `json:"insert_fraction"`
+		SLOTargetNS    int64   `json:"slo_target_ns"`
+		SLOWindows     int64   `json:"slo_windows"`
+		SLOGoodWindows int64   `json:"slo_good_windows"`
+		SLOAttainment  float64 `json:"slo_attainment"`
+	} `json:"results"`
+}
+
+func loadSloReport(path string) (sloReport, error) {
+	var rep sloReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil || len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: not a serve or churn report", path)
+	}
+	return rep, nil
+}
+
+// sloKey names one result row: the workload, qualified by the insert
+// fraction for churn reports where every row shares the workload name.
+func sloKey(workload string, frac float64) string {
+	if workload == "" {
+		workload = "?"
+	}
+	if frac > 0 {
+		return fmt.Sprintf("%s@%.2f", workload, frac)
+	}
+	return workload
+}
+
+// runSlo gates the SLO-attainment columns of two serve or churn reports. A
+// row regresses when its new attainment falls below the -min floor, or
+// drops by more than -drop from the baseline's attainment for the same
+// key. Rows whose reports carry no SLO data (slo_windows 0 — recorded
+// before SLO tracking existed, or with scraping disabled) are skipped, so
+// old baselines don't fail the gate; they simply don't constrain it.
+// Attainment is already a fraction of graded windows, so unlike the
+// latency gates there is no tolerance ratio — the floor and the allowed
+// drop are both absolute attainment fractions.
+func runSlo(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat slo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		minAtt = fs.Float64("min", 0.9, "minimum SLO attainment per row (fraction of good windows)")
+		drop   = fs.Float64("drop", 0.05, "maximum attainment drop from the baseline row before flagging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		usage(stderr)
+		return 2
+	}
+	if *minAtt < 0 || *minAtt > 1 || *drop < 0 || *drop > 1 {
+		fmt.Fprintln(stderr, "tracestat: -min and -drop must be in [0, 1]")
+		return 2
+	}
+	base, err := loadSloReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	cur, err := loadSloReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	if diffs := base.Env.Mismatch(cur.Env); len(diffs) > 0 {
+		fmt.Fprintf(stderr, "tracestat: WARNING: environment mismatch (attainment not directly comparable): %s\n",
+			strings.Join(diffs, "; "))
+	}
+
+	baseBy := map[string]int{}
+	for i, r := range base.Results {
+		if r.SLOWindows > 0 {
+			baseBy[sloKey(r.Workload, r.InsertFraction)] = i
+		}
+	}
+
+	regressions := 0
+	gated := 0
+	fmt.Fprintf(stdout, "%-14s %10s %10s %10s %14s\n", "row", "target", "base", "new", "windows")
+	for _, r := range cur.Results {
+		key := sloKey(r.Workload, r.InsertFraction)
+		if r.SLOWindows == 0 {
+			fmt.Fprintf(stdout, "%-14s %10s %10s %10s %14s  (no SLO data, skipped)\n", key, "-", "-", "-", "-")
+			continue
+		}
+		gated++
+		baseCell := "-"
+		verdict := "ok"
+		if r.SLOAttainment < *minAtt {
+			regressions++
+			verdict = fmt.Sprintf("REGRESSION (below %.0f%% floor)", *minAtt*100)
+		}
+		if bi, ok := baseBy[key]; ok {
+			b := base.Results[bi]
+			baseCell = fmt.Sprintf("%.0f%%", b.SLOAttainment*100)
+			if b.SLOTargetNS != r.SLOTargetNS {
+				fmt.Fprintf(stderr, "tracestat: WARNING: %s: SLO target changed (%v -> %v); drop gate skipped for this row\n",
+					key, time.Duration(b.SLOTargetNS), time.Duration(r.SLOTargetNS))
+			} else if verdict == "ok" && r.SLOAttainment < b.SLOAttainment-*drop {
+				regressions++
+				verdict = fmt.Sprintf("REGRESSION (dropped %.0f%% > %.0f%% allowed)",
+					(b.SLOAttainment-r.SLOAttainment)*100, *drop*100)
+			}
+		}
+		fmt.Fprintf(stdout, "%-14s %10v %10s %9.0f%% %14s  %s\n",
+			key, time.Duration(r.SLOTargetNS), baseCell, r.SLOAttainment*100,
+			fmt.Sprintf("%d/%d", r.SLOGoodWindows, r.SLOWindows), verdict)
+	}
+	if gated == 0 {
+		fmt.Fprintln(stderr, "tracestat: no row in the new report carries SLO data; nothing gated")
+		return 2
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "tracestat: %d SLO regression(s) (floor %.0f%%, allowed drop %.0f%%)\n",
+			regressions, *minAtt*100, *drop*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tracestat: SLO attainment holds across %d gated row(s) (floor %.0f%%, allowed drop %.0f%%)\n",
+		gated, *minAtt*100, *drop*100)
 	return 0
 }
 

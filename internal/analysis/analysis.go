@@ -15,10 +15,12 @@
 //	                injected seeds
 //	conversioncheck count-like int/int64 expressions must not be narrowed to
 //	                int32 without an explicit bounds check
-//	obsrecorder     obs.Recorder methods must not be called inside closures
-//	                passed to the parallel entry points; parallel code
-//	                buffers per-worker measurements (obs.ShardedInt64) and
-//	                the coordinator emits events between sections
+//	obsrecorder     obs.Recorder methods, obs.SpanRecorder span emission,
+//	                and metrics.Registry registration must not happen inside
+//	                closures passed to the parallel entry points; parallel
+//	                code buffers per-worker measurements (obs.ShardedInt64,
+//	                pre-registered metric handles) and the coordinator emits
+//	                events between sections
 //	hotalloc        functions reachable from a //parconn:hotpath root must
 //	                not contain allocating constructs (make, append, ...)
 //	blockingcall    functions reachable from a parallel entry-point closure

@@ -5,6 +5,7 @@ package obsrecorder
 
 import (
 	"parconn/internal/obs"
+	"parconn/internal/obs/metrics"
 	"parconn/internal/parallel"
 )
 
@@ -80,3 +81,44 @@ func okUnrelatedMethod(xs []int) {
 type counterish struct{ n int }
 
 func (c *counterish) Round(int) {}
+
+func racySpanEmit(sr obs.SpanRecorder, xs []int) {
+	parallel.For(0, len(xs), func(i int) {
+		sr.Span(obs.Span{Endpoint: "component"}) // want "Span"
+	})
+}
+
+func racySpanConcreteSink(w *obs.JSONLWriter, xs []int) {
+	parallel.Blocks(0, len(xs), 0, func(lo, hi int) {
+		w.Span(obs.Span{Endpoint: "batch", Batch: hi - lo}) // want "Span"
+	})
+}
+
+func okSpanFromCoordinator(sr obs.SpanRecorder, xs []int) {
+	parallel.For(0, len(xs), func(i int) {
+		_ = xs[i]
+	})
+	sr.Span(obs.Span{Endpoint: "component"}) // ok: coordinator, between sections
+}
+
+func racyRegistryRegister(reg *metrics.Registry, xs []int) {
+	parallel.For(0, len(xs), func(i int) {
+		reg.Counter("parconn_worker_ops_total", "per-worker ops", nil).Inc() // want "Counter"
+	})
+}
+
+func racyRegistryRollingRegister(reg *metrics.Registry, rh *metrics.RollingHistogram, xs []int) {
+	parallel.Do(0, func() {
+		reg.RollingQuantilesNS("parconn_worker_latency_seconds", "latency", nil, rh, 0.99) // want "RollingQuantilesNS"
+	}, func() {})
+}
+
+func okMetricHandlesFromWorkers(reg *metrics.Registry, rh *metrics.RollingHistogram, xs []int) {
+	ops := reg.Counter("parconn_worker_ops_total", "per-worker ops", nil)
+	depth := reg.Gauge("parconn_worker_depth", "queue depth", nil)
+	parallel.For(0, len(xs), func(i int) {
+		ops.Inc()                 // ok: handle update is wait-free
+		depth.Set(float64(xs[i])) // ok: handle update is wait-free
+		rh.Record(int64(xs[i]))   // ok: rolling histogram records are wait-free
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -61,7 +62,9 @@ func ChurnLoadReport(cfg Config) (ChurnReport, error) {
 	}
 	labelTime := time.Since(labelStart)
 
-	sv := serve.New(serve.Config{})
+	warmup, duration := serveWindows(cfg.Scale)
+	reg, observer := benchObserver(duration)
+	sv := serve.New(serve.Config{Observer: observer, Metrics: reg})
 	sv.Publish(serve.Labeling{
 		Labels:    labels,
 		Edges:     int64(g.NumEdges()),
@@ -74,7 +77,10 @@ func ChurnLoadReport(cfg Config) (ChurnReport, error) {
 		return ChurnReport{}, err
 	}
 	sv.EnableIncremental(inc)
-	srv, err := obshttp.ServeHandler("127.0.0.1:0", sv.Handler())
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", sv.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	srv, err := obshttp.ServeHandler("127.0.0.1:0", mux)
 	if err != nil {
 		return ChurnReport{}, err
 	}
@@ -84,7 +90,6 @@ func ChurnLoadReport(cfg Config) (ChurnReport, error) {
 		srv.Shutdown(ctx)
 	}()
 
-	warmup, duration := serveWindows(cfg.Scale)
 	rep := ChurnReport{
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
@@ -108,6 +113,8 @@ func ChurnLoadReport(cfg Config) (ChurnReport, error) {
 			InsertFraction: frac,
 			InsertBatch:    ChurnInsertBatch,
 			Seed:           cfg.Seed,
+			MetricsURL:     "http://" + srv.Addr().String() + "/metrics",
+			SLOTargetP99:   cfg.SLOTargetP99,
 		})
 		if err != nil {
 			return ChurnReport{}, err
@@ -126,11 +133,11 @@ func WriteChurn(cfg Config, path string) error {
 		return err
 	}
 	for _, r := range rep.Results {
-		fmt.Fprintf(cfg.Out, "churn f=%.2f c=%-3d %9.0f query qps (p95 %8s)   %7.0f insert qps (p95 %8s)  (%d queries, %d inserts, %d errs)\n",
+		fmt.Fprintf(cfg.Out, "churn f=%.2f c=%-3d %9.0f query qps (p95 %8s)   %7.0f insert qps (p95 %8s)  (%d queries, %d inserts, %d errs)%s\n",
 			r.InsertFraction, r.Concurrency,
 			r.QPS, time.Duration(r.P95NS),
 			r.InsertQPS, time.Duration(r.InsertP95NS),
-			r.Requests, r.Inserts, r.Errors+r.InsertErrors)
+			r.Requests, r.Inserts, r.Errors+r.InsertErrors, sloSummary(r))
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

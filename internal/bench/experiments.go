@@ -38,6 +38,11 @@ type Config struct {
 	// Attaching a sink perturbs the timings slightly; leave nil for
 	// publication numbers.
 	Recorder parconn.Recorder
+	// SLOTargetP99 is the rolling-P99 latency target the serve and churn
+	// benchmarks grade scrape windows against (0 = 25ms). The resulting
+	// attainment fraction lands in BENCH_serve.json / BENCH_churn.json and
+	// is gated by `tracestat slo`.
+	SLOTargetP99 time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Out == nil {
 		panic("bench: Config.Out is nil")
+	}
+	if c.SLOTargetP99 <= 0 {
+		c.SLOTargetP99 = 25 * time.Millisecond
 	}
 	return c
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"parconn"
 	"parconn/internal/bench/serveload"
+	"parconn/internal/obs/metrics"
 	"parconn/internal/obs/obshttp"
 	"parconn/internal/serve"
 )
@@ -28,6 +30,35 @@ type ServeReport struct {
 	Algorithm   string             `json:"algorithm"`
 	Concurrency int                `json:"concurrency"`
 	Results     []serveload.Result `json:"results"`
+}
+
+// benchObserver builds the metrics registry and request Observer the serve
+// and churn benchmarks attach to their in-process server: rolling windows
+// sized to the measurement duration so the SLO scraper grades recent
+// traffic even at smoke scales, and no span sampling (spans would perturb
+// the numbers being measured).
+func benchObserver(duration time.Duration) (*metrics.Registry, *serve.Observer) {
+	reg := metrics.New()
+	window := duration / 8
+	if window < 50*time.Millisecond {
+		window = 50 * time.Millisecond
+	}
+	o := serve.NewObserver(serve.ObserverConfig{
+		Metrics:        reg,
+		RollingWindow:  window,
+		RollingWindows: 16,
+	})
+	return reg, o
+}
+
+// sloSummary renders the per-result SLO attainment fragment of the summary
+// line, empty when SLO tracking was disabled for the run.
+func sloSummary(r serveload.Result) string {
+	if r.SLOWindows == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  slo[p99<=%s] %3.0f%% (%d/%d windows)",
+		time.Duration(r.SLOTargetNS), r.SLOAttainment*100, r.SLOGoodWindows, r.SLOWindows)
 }
 
 // serveWindows derives the measurement windows from the harness scale: long
@@ -65,7 +96,9 @@ func ServeLoadReport(cfg Config) (ServeReport, error) {
 	}
 	labelTime := time.Since(labelStart)
 
-	sv := serve.New(serve.Config{})
+	warmup, duration := serveWindows(cfg.Scale)
+	reg, observer := benchObserver(duration)
+	sv := serve.New(serve.Config{Observer: observer, Metrics: reg})
 	sv.Publish(serve.Labeling{
 		Labels:    labels,
 		Edges:     int64(g.NumEdges()),
@@ -73,7 +106,10 @@ func ServeLoadReport(cfg Config) (ServeReport, error) {
 		Source:    fmt.Sprintf("bench:random(scale=%.3g)", cfg.Scale),
 		LabelTime: labelTime,
 	})
-	srv, err := obshttp.ServeHandler("127.0.0.1:0", sv.Handler())
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", sv.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	srv, err := obshttp.ServeHandler("127.0.0.1:0", mux)
 	if err != nil {
 		return ServeReport{}, err
 	}
@@ -83,7 +119,6 @@ func ServeLoadReport(cfg Config) (ServeReport, error) {
 		srv.Shutdown(ctx)
 	}()
 
-	warmup, duration := serveWindows(cfg.Scale)
 	rep := ServeReport{
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
@@ -97,13 +132,15 @@ func ServeLoadReport(cfg Config) (ServeReport, error) {
 	}
 	for _, w := range serveload.Workloads {
 		res, err := serveload.Run(serveload.Config{
-			BaseURL:     "http://" + srv.Addr().String(),
-			Workload:    w,
-			Concurrency: cfg.Procs,
-			Warmup:      warmup,
-			Duration:    duration,
-			Vertices:    g.NumVertices(),
-			Seed:        cfg.Seed,
+			BaseURL:      "http://" + srv.Addr().String(),
+			Workload:     w,
+			Concurrency:  cfg.Procs,
+			Warmup:       warmup,
+			Duration:     duration,
+			Vertices:     g.NumVertices(),
+			Seed:         cfg.Seed,
+			MetricsURL:   "http://" + srv.Addr().String() + "/metrics",
+			SLOTargetP99: cfg.SLOTargetP99,
 		})
 		if err != nil {
 			return ServeReport{}, err
@@ -122,10 +159,10 @@ func WriteServe(cfg Config, path string) error {
 		return err
 	}
 	for _, r := range rep.Results {
-		fmt.Fprintf(cfg.Out, "%-6s c=%-3d %9.0f qps   p50 %8s  p95 %8s  p99 %8s  (%d reqs, %d errs)\n",
+		fmt.Fprintf(cfg.Out, "%-6s c=%-3d %9.0f qps   p50 %8s  p95 %8s  p99 %8s  (%d reqs, %d errs)%s\n",
 			r.Workload, r.Concurrency, r.QPS,
 			time.Duration(r.P50NS), time.Duration(r.P95NS), time.Duration(r.P99NS),
-			r.Requests, r.Errors)
+			r.Requests, r.Errors, sloSummary(r))
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

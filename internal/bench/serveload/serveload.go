@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"parconn/internal/obs"
+	"parconn/internal/obs/metrics"
 	"parconn/internal/prand"
 )
 
@@ -79,6 +80,18 @@ type Config struct {
 	Seed uint64
 	// Client, when non-nil, overrides the pooled HTTP client.
 	Client *http.Client
+
+	// MetricsURL, together with SLOTargetP99, enables SLO tracking: the
+	// run scrapes this Prometheus-text endpoint (the server's /metrics)
+	// throughout the measured window and grades each scrape interval
+	// against the target. Empty disables tracking.
+	MetricsURL string
+	// SLOTargetP99 is the rolling-P99 latency bound a scrape window must
+	// meet (on every primary endpoint of the workload) to count as good.
+	SLOTargetP99 time.Duration
+	// SLOScrapeInterval is the grading window length (0 = Duration/8,
+	// floored at 10ms).
+	SLOScrapeInterval time.Duration
 }
 
 // Result is the measured outcome of one load run, JSON-shaped for
@@ -108,6 +121,31 @@ type Result struct {
 	InsertP50NS    int64   `json:"insert_p50_ns,omitempty"`
 	InsertP95NS    int64   `json:"insert_p95_ns,omitempty"`
 	InsertP99NS    int64   `json:"insert_p99_ns,omitempty"`
+
+	// SLO tracking (MetricsURL + SLOTargetP99 set). SLOWindows is the
+	// number of scrape windows graded; SLOAttainment is the fraction whose
+	// rolling P99 met the target on every primary endpoint. A row without
+	// these fields (SLOWindows == 0) was run without tracking.
+	SLOTargetNS    int64   `json:"slo_target_ns,omitempty"`
+	SLOWindows     int     `json:"slo_windows,omitempty"`
+	SLOGoodWindows int     `json:"slo_good_windows,omitempty"`
+	SLOAttainment  float64 `json:"slo_attainment,omitempty"`
+}
+
+// PrimaryEndpoints returns the serve endpoints whose rolling latency the
+// SLO grade of a workload is computed over: the endpoint(s) the workload's
+// read queries actually hit.
+func PrimaryEndpoints(workload string) []string {
+	switch workload {
+	case WorkloadPair:
+		return []string{"same"}
+	case WorkloadBatch:
+		return []string{"batch"}
+	case WorkloadChurn:
+		return []string{"component", "same"}
+	default: // point, hot
+		return []string{"component"}
+	}
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -231,8 +269,78 @@ func (w *worker) op() (insert, ok bool) {
 	return insert, resp.StatusCode >= 200 && resp.StatusCode < 300
 }
 
+// sloWatch occupies the measured window: it sleeps cfg.Duration in scrape
+// intervals and, when SLO tracking is enabled (MetricsURL + SLOTargetP99),
+// grades each interval by scraping the server's rolling P99 gauges for the
+// workload's primary endpoints. A window is good when every primary
+// endpoint's P99 meets the target; a failed or key-missing scrape counts as
+// a bad window (an unobservable server cannot demonstrate attainment).
+// With tracking disabled it is exactly time.Sleep(cfg.Duration).
+func sloWatch(cfg Config, measureStart time.Time) (windows, good int) {
+	if cfg.MetricsURL == "" || cfg.SLOTargetP99 <= 0 {
+		time.Sleep(cfg.Duration)
+		return 0, 0
+	}
+	interval := cfg.SLOScrapeInterval
+	if interval <= 0 {
+		interval = cfg.Duration / 8
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	endpoints := PrimaryEndpoints(cfg.Workload)
+	end := measureStart.Add(cfg.Duration)
+	for {
+		now := time.Now()
+		if !now.Before(end) {
+			return windows, good
+		}
+		sleep := interval
+		if rest := end.Sub(now); rest < sleep {
+			sleep = rest
+		}
+		time.Sleep(sleep)
+		windows++
+		if scrapeMeetsTarget(cfg.Client, cfg.MetricsURL, endpoints, cfg.SLOTargetP99) {
+			good++
+		}
+	}
+}
+
+// scrapeMeetsTarget scrapes one exposition and checks every endpoint's
+// rolling P99 gauge against the target.
+func scrapeMeetsTarget(client *http.Client, url string, endpoints []string, target time.Duration) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	parsed, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return false
+	}
+	for _, ep := range endpoints {
+		key := metrics.Series("parconn_http_rolling_latency_seconds",
+			metrics.L("endpoint", ep, "quantile", metrics.QuantileLabel(0.99)))
+		p99, ok := parsed[key]
+		if !ok {
+			return false
+		}
+		if time.Duration(p99*1e9) > target {
+			return false
+		}
+	}
+	return true
+}
+
 // Run executes the configured workload and reports throughput and latency.
-// Warmup requests are issued but not recorded.
+// Warmup requests are issued but not recorded: an op counts toward QPS and
+// the quantiles iff it started inside the measured window, uniformly across
+// the point, pair, batch, hot, and churn workloads.
 func Run(cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -257,9 +365,16 @@ func Run(cfg Config) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				// Capture the recording flag before issuing the op: an op
+				// is measured iff it STARTED inside the window. Checking
+				// after completion would let requests that started during
+				// warmup leak into the quantiles (their latency reflects
+				// cold connections) while ops straddling the window's end
+				// silently vanished from the counts.
+				rec := recording.Load()
 				start := time.Now()
 				insert, ok := w.op()
-				if !recording.Load() {
+				if !rec {
 					continue
 				}
 				switch {
@@ -283,7 +398,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	measureStart := time.Now()
 	recording.Store(true)
-	time.Sleep(cfg.Duration)
+	sloWindows, sloGood := sloWatch(cfg, measureStart)
 	recording.Store(false)
 	elapsed := time.Since(measureStart)
 	stop.Store(true)
@@ -303,6 +418,12 @@ func Run(cfg Config) (Result, error) {
 		P95NS:       snap.Quantile(0.95),
 		P99NS:       snap.Quantile(0.99),
 		MaxNS:       snap.Max,
+	}
+	if sloWindows > 0 {
+		res.SLOTargetNS = cfg.SLOTargetP99.Nanoseconds()
+		res.SLOWindows = sloWindows
+		res.SLOGoodWindows = sloGood
+		res.SLOAttainment = float64(sloGood) / float64(sloWindows)
 	}
 	if cfg.Workload == WorkloadChurn {
 		isnap := insertHist.Snapshot()

@@ -1,12 +1,14 @@
 package serveload
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"parconn"
+	"parconn/internal/obs/metrics"
 	"parconn/internal/prand"
 	"parconn/internal/serve"
 )
@@ -167,6 +169,209 @@ func TestDeterministicKeys(t *testing.T) {
 		}
 		if a == c {
 			t.Fatalf("worker %d: different seeds collided", i)
+		}
+	}
+}
+
+// observedTestServer is testServer plus the request-plane Observer and a
+// /metrics endpoint on the same listener — the full production wiring the
+// SLO scraper targets.
+func observedTestServer(t *testing.T) (*httptest.Server, int) {
+	t.Helper()
+	const n = 100
+	labels := make([]int32, n)
+	for i := range labels {
+		if i >= n/2 {
+			labels[i] = n / 2
+		}
+	}
+	reg := metrics.New()
+	o := serve.NewObserver(serve.ObserverConfig{Metrics: reg})
+	sv := serve.New(serve.Config{Observer: o, Metrics: reg})
+	sv.Publish(serve.Labeling{Labels: labels, Edges: int64(n) - 2, Algorithm: "test", Source: "test"})
+	inc, err := parconn.NewIncrementalFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.EnableIncremental(inc)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", sv.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, n
+}
+
+// TestWarmupExcludedFromQuantiles pins the warmup accounting across every
+// workload: an op is measured iff it STARTED inside the window. The server
+// is slow only during (a prefix of) the warmup, so any slow sample in the
+// quantiles means a warmup-started op leaked into the measurement.
+func TestWarmupExcludedFromQuantiles(t *testing.T) {
+	const (
+		slowFor  = 200 * time.Millisecond // server sleeps `slow` before this elapsed time
+		slow     = 150 * time.Millisecond
+		warmup   = 250 * time.Millisecond // slow period ends strictly inside warmup
+		duration = 300 * time.Millisecond
+	)
+	for _, w := range append(append([]string{}, Workloads...), WorkloadChurn) {
+		t.Run(w, func(t *testing.T) {
+			start := time.Now()
+			ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+				if time.Since(start) < slowFor {
+					time.Sleep(slow)
+				}
+				rw.WriteHeader(http.StatusOK)
+			}))
+			defer ts.Close()
+			res, err := Run(Config{
+				BaseURL:     ts.URL,
+				Workload:    w,
+				Concurrency: 4,
+				Warmup:      warmup,
+				Duration:    duration,
+				Vertices:    100,
+				BatchSize:   4,
+				InsertBatch: 4,
+				Seed:        11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Requests == 0 {
+				t.Fatal("no requests measured")
+			}
+			// Slow ops take >= 150ms and can only start during warmup; a
+			// measured MaxNS anywhere near `slow` means one was recorded.
+			if res.MaxNS >= slow.Nanoseconds() {
+				t.Errorf("MaxNS = %v: a warmup-started request leaked into the quantiles", time.Duration(res.MaxNS))
+			}
+			if w == WorkloadChurn && res.Inserts > 0 {
+				// The same start-in-window rule governs the insert histogram.
+				if p99 := res.InsertP99NS; p99 >= slow.Nanoseconds() {
+					t.Errorf("InsertP99NS = %v: warmup insert leaked", time.Duration(p99))
+				}
+			}
+		})
+	}
+}
+
+// TestSLOAttainmentAgainstLiveServer runs the full loop: observed server,
+// real /metrics exposition, scraper grading windows. With a generous target
+// every window must pass; with an impossible one every window must fail.
+func TestSLOAttainmentAgainstLiveServer(t *testing.T) {
+	ts, n := observedTestServer(t)
+	base := Config{
+		BaseURL:           ts.URL,
+		Workload:          WorkloadPoint,
+		Concurrency:       2,
+		Duration:          200 * time.Millisecond,
+		Vertices:          n,
+		Seed:              3,
+		MetricsURL:        ts.URL + "/metrics",
+		SLOScrapeInterval: 25 * time.Millisecond,
+	}
+
+	cfg := base
+	cfg.SLOTargetP99 = time.Second // local point queries are far below 1s
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOWindows < 2 {
+		t.Fatalf("SLOWindows = %d, want >= 2", res.SLOWindows)
+	}
+	if res.SLOAttainment != 1.0 || res.SLOGoodWindows != res.SLOWindows {
+		t.Fatalf("generous target: attainment %v (%d/%d), want 1.0",
+			res.SLOAttainment, res.SLOGoodWindows, res.SLOWindows)
+	}
+	if res.SLOTargetNS != time.Second.Nanoseconds() {
+		t.Fatalf("SLOTargetNS = %d", res.SLOTargetNS)
+	}
+
+	cfg = base
+	cfg.Seed = 4
+	cfg.SLOTargetP99 = time.Nanosecond // nothing meets 1ns
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOWindows < 2 || res.SLOGoodWindows != 0 || res.SLOAttainment != 0 {
+		t.Fatalf("impossible target: %d/%d good, attainment %v, want 0",
+			res.SLOGoodWindows, res.SLOWindows, res.SLOAttainment)
+	}
+}
+
+// TestSLOMissingSeriesCountsBad pins the conservative grading: a metrics
+// endpoint that exposes nothing (or fails) can never demonstrate
+// attainment, so every window grades bad instead of silently passing.
+func TestSLOMissingSeriesCountsBad(t *testing.T) {
+	ts, n := testServer(t) // no Observer: /metrics-less server
+	empty := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", metrics.ContentType)
+		rw.Write([]byte("# TYPE unrelated counter\nunrelated 1\n"))
+	}))
+	defer empty.Close()
+	res, err := Run(Config{
+		BaseURL:           ts.URL,
+		Workload:          WorkloadPoint,
+		Concurrency:       1,
+		Duration:          100 * time.Millisecond,
+		Vertices:          n,
+		Seed:              5,
+		MetricsURL:        empty.URL,
+		SLOTargetP99:      time.Second,
+		SLOScrapeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOWindows == 0 {
+		t.Fatal("no windows graded")
+	}
+	if res.SLOGoodWindows != 0 || res.SLOAttainment != 0 {
+		t.Fatalf("missing series graded good: %d/%d", res.SLOGoodWindows, res.SLOWindows)
+	}
+}
+
+// TestSLODisabledLeavesFieldsZero pins that runs without MetricsURL carry
+// no SLO fields, the sentinel tracestat slo keys presence off of.
+func TestSLODisabledLeavesFieldsZero(t *testing.T) {
+	ts, n := testServer(t)
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Workload:    WorkloadPoint,
+		Concurrency: 1,
+		Duration:    50 * time.Millisecond,
+		Vertices:    n,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOWindows != 0 || res.SLOTargetNS != 0 || res.SLOAttainment != 0 {
+		t.Fatalf("SLO fields set without tracking: %+v", res)
+	}
+}
+
+// TestPrimaryEndpoints pins the workload -> endpoint mapping the SLO grade
+// is computed over.
+func TestPrimaryEndpoints(t *testing.T) {
+	cases := map[string][]string{
+		WorkloadPoint: {"component"},
+		WorkloadHot:   {"component"},
+		WorkloadPair:  {"same"},
+		WorkloadBatch: {"batch"},
+		WorkloadChurn: {"component", "same"},
+	}
+	for w, want := range cases {
+		got := PrimaryEndpoints(w)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %v, want %v", w, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: %v, want %v", w, got, want)
+			}
 		}
 	}
 }

@@ -176,6 +176,10 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 			var e Counter
 			err = json.Unmarshal(line, &e)
 			v = e
+		case KindSpan:
+			var e Span
+			err = json.Unmarshal(line, &e)
+			v = e
 		case "":
 			return out, fmt.Errorf("obs: line %d: missing \"ev\" kind tag", lineNo)
 		default:
@@ -199,6 +203,7 @@ type Summary struct {
 	Rounds   int
 	Phases   int
 	Counters int
+	Spans    int // sampled request spans (request plane, outside run bracketing rules)
 	Metas    int // trace header records
 	Events   int
 }
@@ -312,6 +317,20 @@ func Validate(events []Event) (Summary, error) {
 				return s, fmt.Errorf("event %d: counter %s negative", i, e.Name)
 			}
 			s.Counters++
+		case Span:
+			// Spans come from the request plane, which runs concurrently with
+			// (and independently of) the engine's run bracketing, so they may
+			// appear anywhere in the stream.
+			if e.Endpoint == "" {
+				return s, fmt.Errorf("event %d: span without endpoint", i)
+			}
+			if e.Status < 100 || e.Status > 599 {
+				return s, fmt.Errorf("event %d: span with status %d outside [100, 599]", i, e.Status)
+			}
+			if e.Duration < 0 {
+				return s, fmt.Errorf("event %d: span with negative duration", i)
+			}
+			s.Spans++
 		default:
 			return s, fmt.Errorf("event %d: unknown event type %T", i, ev.V)
 		}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// ContentType is the Content-Type of the text exposition format served by
+// Handler, including the format version.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText writes every registered family in the Prometheus text format,
+// families sorted by name and series by label signature, so consecutive
+// scrapes diff cleanly.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			writeSeries(bw, f.name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries emits the exposition lines of one series: a single sample for
+// counters and gauges, the cumulative bucket expansion for histograms.
+func writeSeries(w *bufio.Writer, name string, s *series) {
+	switch {
+	case s.counter != nil:
+		writeSample(w, name, s.labels, float64(s.counter.Value()))
+	case s.gauge != nil:
+		writeSample(w, name, s.labels, s.gauge.Value())
+	case s.fn != nil:
+		writeSample(w, name, s.labels, s.fn())
+	case s.hist != nil:
+		snap := s.hist()
+		cum := int64(0)
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			writeSample(w, name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(float64(b.Hi)*s.scale)+`"`), float64(cum))
+		}
+		writeSample(w, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(snap.Count))
+		writeSample(w, name+"_sum", s.labels, float64(snap.Sum)*s.scale)
+		writeSample(w, name+"_count", s.labels, float64(snap.Count))
+	}
+}
+
+// joinLabels appends one rendered pair to an already-rendered label string.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values without an exponent
+// or trailing zeros (the common case for counters), shortest round-trip
+// form otherwise.
+func formatFloat(v float64) string {
+	// The int64 conversion is defined only inside the int64 range; huge
+	// bucket bounds (the top log2 bucket) take the float path.
+	if v >= -9.2e18 && v <= 9.2e18 && v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at GET /metrics (any path; mount it where
+// convenient).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WriteText(w)
+	})
+}

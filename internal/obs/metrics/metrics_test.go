@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"parconn/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "help", nil)
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("test_total", "help", nil); again != c {
+		t.Fatal("re-registering the same counter series returned a different handle")
+	}
+	g := r.Gauge("test_gauge", "help", L("k", "v"))
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestCounterAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counter.Add(-1) did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestRegisterTypeConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("dual", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter and gauge did not panic")
+		}
+	}()
+	r.Gauge("dual", "", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := New()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("rt_requests_total", "requests", L("endpoint", "same")).Add(7)
+	r.Counter("rt_requests_total", "requests", L("endpoint", "component")).Add(3)
+	r.Gauge("rt_temperature", "temp", nil).Set(36.75)
+	r.GaugeFunc("rt_fn", "fn", nil, func() float64 { return 2.5 })
+	var h obs.Histogram
+	h.Record(100)
+	h.Record(100)
+	h.Record(5000)
+	r.HistogramNS("rt_latency_seconds", "latency", L("endpoint", "same"), &h)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE rt_requests_total counter",
+		"# HELP rt_requests_total requests",
+		`rt_requests_total{endpoint="component"} 3`,
+		`rt_requests_total{endpoint="same"} 7`,
+		"rt_temperature 36.75",
+		"rt_fn 2.5",
+		"# TYPE rt_latency_seconds histogram",
+		`rt_latency_seconds_bucket{endpoint="same",le="+Inf"} 3`,
+		`rt_latency_seconds_count{endpoint="same"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// component sorts before same within the family.
+	if strings.Index(text, `endpoint="component"`) > strings.Index(text, `rt_requests_total{endpoint="same"}`) {
+		t.Errorf("series not sorted by label signature:\n%s", text)
+	}
+
+	parsed, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		Series("rt_requests_total", L("endpoint", "same")):      7,
+		Series("rt_requests_total", L("endpoint", "component")): 3,
+		"rt_temperature": 36.75,
+		"rt_fn":          2.5,
+		`rt_latency_seconds_count{endpoint="same"}`: 3,
+		`rt_latency_seconds_sum{endpoint="same"}`:   5200e-9,
+	}
+	for key, want := range checks {
+		got, ok := parsed[key]
+		if !ok {
+			t.Errorf("parsed exposition missing %s", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := New()
+	var h obs.Histogram
+	for _, v := range []int64{1, 2, 2, 4, 4, 4} {
+		h.Record(v)
+	}
+	r.HistogramFunc("cum", "", nil, 1, h.Snapshot)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets [1,2) -> le=2 holds 1; [2,4) -> le=4 holds 1+2; [4,8) -> le=8
+	// holds 1+2+3. Cumulative counts must be non-decreasing and end at count.
+	if parsed[`cum_bucket{le="2"}`] != 1 || parsed[`cum_bucket{le="4"}`] != 3 || parsed[`cum_bucket{le="8"}`] != 6 {
+		t.Errorf("cumulative buckets wrong: %v", parsed)
+	}
+	if parsed[`cum_bucket{le="+Inf"}`] != 6 || parsed["cum_count"] != 6 || parsed["cum_sum"] != 17 {
+		t.Errorf("histogram terminals wrong: %v", parsed)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("esc_total", "", L("path", `a\b"c`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\\b\"c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q missing in:\n%s", want, b.String())
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := New()
+	r.Counter("h_total", "", nil).Add(5)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content-type = %q, want %q", ct, ContentType)
+	}
+	parsed, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed["h_total"] != 5 {
+		t.Fatalf("h_total = %v, want 5", parsed["h_total"])
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestRegisterRuntimeSeriesPresent(t *testing.T) {
+	r := New()
+	RegisterRuntime(r)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"parconn_goroutines", "parconn_gomaxprocs", "parconn_heap_inuse_bytes",
+		"parconn_heap_alloc_bytes", "parconn_sys_bytes", "parconn_gc_pause_seconds_total",
+		"parconn_gc_cycles_total", "parconn_alloc_bytes_total",
+	} {
+		if _, ok := parsed[name]; !ok {
+			t.Errorf("runtime metric %s missing", name)
+		}
+	}
+	if parsed["parconn_goroutines"] < 1 {
+		t.Errorf("parconn_goroutines = %v, want >= 1", parsed["parconn_goroutines"])
+	}
+	if parsed["parconn_heap_alloc_bytes"] <= 0 {
+		t.Errorf("parconn_heap_alloc_bytes = %v, want > 0", parsed["parconn_heap_alloc_bytes"])
+	}
+}
+
+func TestConcurrentRegistrationAndScrape(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("conc_total", "", L("worker", string(rune('a'+i)))).Inc()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var b strings.Builder
+				if err := r.WriteText(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for k, v := range parsed {
+		if strings.HasPrefix(k, "conc_total{") {
+			total += v
+		}
+	}
+	if total != 800 {
+		t.Fatalf("summed conc_total = %v, want 800", total)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"name_without_value",
+		"name abc",
+	} {
+		if _, err := ParseText(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseText(%q) did not fail", bad)
+		}
+	}
+	got, err := ParseText(strings.NewReader("# comment\n\nok 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["ok"] != 1 {
+		t.Fatalf("ok = %v, want 1", got["ok"])
+	}
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+
+	"parconn/internal/obs"
+)
+
+// rollingSlotEmpty marks a slot that has never held a window. Real window
+// indices are derived from wall-clock nanoseconds and are far above zero.
+const rollingSlotEmpty = -1
+
+// RollingHistogram is a ring of per-interval obs.Histogram windows: Record
+// lands in the window covering "now", Snapshot merges the windows of the
+// last Windows()*Window() span, so quantiles reflect recent traffic instead
+// of process lifetime. This is what turns a latency histogram into an SLO
+// signal — "P99 over the last minute", not "P99 since boot".
+//
+// Recording is wait-free in the steady state: the slot for the current
+// window is found by index arithmetic and fed through obs.Histogram's
+// atomic record path. Window rotation (the first record of a new interval
+// reusing an expired slot) is a CAS whose winner resets the slot; a sample
+// racing that reset can be lost, and a straggler from the previous interval
+// can land in the new window. Both misplace single samples at window
+// boundaries — noise at the resolution quantile estimation already has —
+// and never corrupt counts within a settled window.
+//
+// A backwards clock step makes Record drop samples (their window is older
+// than what the slot holds) until the clock catches up to the newest
+// recorded window; Snapshot keeps working throughout, merging only windows
+// inside [now - span, now].
+type RollingHistogram struct {
+	interval int64 // window length, ns
+	slots    []rollingSlot
+	now      func() int64 // wall clock, UnixNano; swappable for tests
+}
+
+type rollingSlot struct {
+	tick atomic.Int64 // window index (unixNano / interval) the slot holds
+	hist obs.Histogram
+}
+
+// NewRollingHistogram returns a rolling histogram of `windows` windows of
+// `window` length each (defaults: 1s windows, 60 of them).
+func NewRollingHistogram(window time.Duration, windows int) *RollingHistogram {
+	if window <= 0 {
+		window = time.Second
+	}
+	if windows <= 0 {
+		windows = 60
+	}
+	r := &RollingHistogram{
+		interval: int64(window),
+		slots:    make([]rollingSlot, windows),
+		now: func() int64 {
+			return time.Now().UnixNano() //parconn:allow norand rolling-window clock; no algorithmic randomness
+		},
+	}
+	for i := range r.slots {
+		r.slots[i].tick.Store(rollingSlotEmpty)
+	}
+	return r
+}
+
+// Window returns the per-window length.
+func (r *RollingHistogram) Window() time.Duration { return time.Duration(r.interval) }
+
+// Windows returns the number of ring windows.
+func (r *RollingHistogram) Windows() int { return len(r.slots) }
+
+// Span returns the total rolling span Snapshot covers.
+func (r *RollingHistogram) Span() time.Duration {
+	return time.Duration(r.interval * int64(len(r.slots)))
+}
+
+// Record adds one sample to the current window.
+func (r *RollingHistogram) Record(v int64) {
+	tick := r.now() / r.interval
+	slot := &r.slots[int(tick%int64(len(r.slots)))]
+	for {
+		cur := slot.tick.Load()
+		if cur == tick {
+			break
+		}
+		if cur > tick {
+			// The slot already holds a newer window (backwards clock step);
+			// this sample's window is gone.
+			return
+		}
+		if slot.tick.CompareAndSwap(cur, tick) {
+			// This goroutine rotated the slot: clear the expired window's
+			// counts before the first sample of the new one.
+			slot.hist.Reset()
+			break
+		}
+	}
+	slot.hist.Record(v)
+}
+
+// Snapshot merges every live window — those covering (now - span, now] —
+// into one point-in-time histogram copy. Expired and never-used windows
+// contribute nothing; an idle histogram rolls to empty after span elapses.
+func (r *RollingHistogram) Snapshot() obs.HistogramSnapshot {
+	cur := r.now() / r.interval
+	minTick := cur - int64(len(r.slots)) + 1
+	var m obs.Histogram
+	for i := range r.slots {
+		t := r.slots[i].tick.Load()
+		if t >= minTick && t <= cur {
+			m.Merge(&r.slots[i].hist)
+		}
+	}
+	return m.Snapshot()
+}
+
+// Quantile estimates the q-quantile over the rolling span (0 when no live
+// window holds samples).
+func (r *RollingHistogram) Quantile(q float64) int64 {
+	return r.Snapshot().Quantile(q)
+}

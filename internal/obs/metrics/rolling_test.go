@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock lets tests step the rolling clock deterministically.
+type fixedClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+func (c *fixedClock) now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ns
+}
+
+func (c *fixedClock) set(ns int64) {
+	c.mu.Lock()
+	c.ns = ns
+	c.mu.Unlock()
+}
+
+func newTestRolling(window time.Duration, windows int) (*RollingHistogram, *fixedClock) {
+	r := NewRollingHistogram(window, windows)
+	c := &fixedClock{ns: int64(100 * window)} // start far from zero, like wall time
+	r.now = c.now
+	return r, c
+}
+
+func TestRollingEmpty(t *testing.T) {
+	r, _ := newTestRolling(time.Second, 4)
+	snap := r.Snapshot()
+	if snap.Count != 0 {
+		t.Fatalf("empty rolling count = %d, want 0", snap.Count)
+	}
+	if q := r.Quantile(0.99); q != 0 {
+		t.Fatalf("empty rolling P99 = %d, want 0", q)
+	}
+}
+
+func TestRollingDefaults(t *testing.T) {
+	r := NewRollingHistogram(0, 0)
+	if r.Window() != time.Second || r.Windows() != 60 || r.Span() != time.Minute {
+		t.Fatalf("defaults = (%v, %d, %v), want (1s, 60, 1m)", r.Window(), r.Windows(), r.Span())
+	}
+}
+
+func TestRollingMergesLiveWindows(t *testing.T) {
+	r, c := newTestRolling(time.Second, 4)
+	base := c.now()
+	r.Record(100)
+	c.set(base + int64(time.Second))
+	r.Record(200)
+	r.Record(200)
+	c.set(base + int64(2*time.Second))
+	r.Record(400)
+
+	if got := r.Snapshot().Count; got != 4 {
+		t.Fatalf("live count = %d, want 4 (all three windows inside span)", got)
+	}
+}
+
+func TestRollingWindowExpiry(t *testing.T) {
+	r, c := newTestRolling(time.Second, 4)
+	base := c.now()
+	r.Record(100)
+
+	// Advance just inside the span: the sample's window is still live.
+	c.set(base + int64(3*time.Second))
+	if got := r.Snapshot().Count; got != 1 {
+		t.Fatalf("count before expiry = %d, want 1", got)
+	}
+
+	// One more window and it ages out, even though no Record reused the slot.
+	c.set(base + int64(4*time.Second))
+	if got := r.Snapshot().Count; got != 0 {
+		t.Fatalf("count after expiry = %d, want 0", got)
+	}
+}
+
+func TestRollingSlotReuseResetsOldCounts(t *testing.T) {
+	r, c := newTestRolling(time.Second, 2)
+	base := c.now()
+	r.Record(100)
+	r.Record(100)
+
+	// Two intervals later the same slot index comes around; its first record
+	// must not inherit the expired window's two samples.
+	c.set(base + int64(2*time.Second))
+	r.Record(700)
+	snap := r.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count after slot reuse = %d, want 1", snap.Count)
+	}
+	if q := snap.Quantile(0.5); q < 512 {
+		t.Fatalf("median after reuse = %d, want the new sample's bucket (>= 512)", q)
+	}
+}
+
+func TestRollingClockStepForward(t *testing.T) {
+	r, c := newTestRolling(time.Second, 4)
+	base := c.now()
+	r.Record(100)
+
+	// A large forward step lands far beyond the span: old data invisible,
+	// new records work immediately.
+	c.set(base + int64(time.Hour))
+	if got := r.Snapshot().Count; got != 0 {
+		t.Fatalf("count after forward step = %d, want 0", got)
+	}
+	r.Record(900)
+	if got := r.Snapshot().Count; got != 1 {
+		t.Fatalf("count after recording post-step = %d, want 1", got)
+	}
+}
+
+func TestRollingClockStepBackward(t *testing.T) {
+	r, c := newTestRolling(time.Second, 4)
+	base := c.now()
+	c.set(base + int64(3*time.Second))
+	r.Record(100)
+
+	// Step the clock back: records target windows older than what their slot
+	// holds and are dropped rather than corrupting a newer window.
+	c.set(base + int64(3*time.Second) - int64(4*time.Second))
+	r.Record(999)
+	c.set(base + int64(3*time.Second))
+	if got := r.Snapshot().Count; got != 1 {
+		t.Fatalf("count after backward step = %d, want 1 (stale record dropped)", got)
+	}
+}
+
+func TestRollingSingleSampleWindows(t *testing.T) {
+	r, c := newTestRolling(time.Second, 8)
+	base := c.now()
+	for i := 0; i < 5; i++ {
+		c.set(base + int64(i)*int64(time.Second))
+		r.Record(int64(1) << uint(i+4)) // 16, 32, ..., 256: one sample per window
+	}
+	snap := r.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if q := snap.Quantile(1.0); q < 256 {
+		t.Fatalf("max quantile = %d, want >= 256", q)
+	}
+	if q := snap.Quantile(0.0); q > 16 {
+		t.Fatalf("min quantile = %d, want <= 16 bucket bound", q)
+	}
+}
+
+func TestRollingConcurrentRecordAcrossRotation(t *testing.T) {
+	r, c := newTestRolling(time.Millisecond, 4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Record(50)
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	// Drive the clock through many rotations while recorders run.
+	base := c.now()
+	for i := 0; i < 200; i++ {
+		c.set(base + int64(i)*int64(time.Millisecond))
+	}
+	close(stop)
+	wg.Wait()
+	// No assertion on exact counts (boundary samples may be dropped by
+	// design); the run must simply be race- and panic-free, and the final
+	// snapshot well-formed.
+	snap := r.Snapshot()
+	if snap.Count < 0 || snap.Sum < 0 {
+		t.Fatalf("corrupt snapshot after rotation churn: %+v", snap)
+	}
+}
+
+func TestRollingQuantilesNSExposition(t *testing.T) {
+	reg := New()
+	r, c := newTestRolling(time.Second, 4)
+	base := c.now()
+	for i := 0; i < 100; i++ {
+		r.Record(int64(i+1) * int64(time.Millisecond) / 10) // 0.1ms..10ms
+	}
+	reg.RollingQuantilesNS("roll_latency_seconds", "rolling latency", L("endpoint", "same"), r, 0.5, 0.99)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := parsed[`roll_latency_seconds{endpoint="same",quantile="0.5"}`]
+	p99 := parsed[`roll_latency_seconds{endpoint="same",quantile="0.99"}`]
+	if p50 <= 0 || p99 <= 0 {
+		t.Fatalf("rolling quantile gauges missing or zero: p50=%v p99=%v in %v", p50, p99, parsed)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+	// After the span passes with no traffic the gauges roll back to zero.
+	c.set(base + int64(time.Hour))
+	b.Reset()
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err = ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := parsed[`roll_latency_seconds{endpoint="same",quantile="0.99"}`]; v != 0 {
+		t.Fatalf("idle rolling p99 = %v, want 0", v)
+	}
+}

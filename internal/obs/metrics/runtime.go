@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsTTL bounds how often a scrape re-reads runtime.MemStats: one read
+// serves every memory gauge of one exposition pass (and any scrapes landing
+// within the window), since ReadMemStats briefly stops the world.
+const memStatsTTL = 250 * time.Millisecond
+
+// memStatsCache shares one runtime.MemStats read across the memory-backed
+// gauge functions.
+type memStatsCache struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	now := time.Now() //parconn:allow norand memstats refresh stopwatch; no algorithmic randomness
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last.IsZero() || now.Sub(c.last) > memStatsTTL {
+		runtime.ReadMemStats(&c.ms)
+		c.last = now
+	}
+	return c.ms
+}
+
+// RegisterRuntime registers process-health metrics — scheduler, memory, and
+// GC — so a /metrics scrape covers the process, not just request counters:
+//
+//	parconn_goroutines               current goroutine count
+//	parconn_heap_inuse_bytes         bytes in in-use heap spans
+//	parconn_heap_alloc_bytes         bytes of live allocated heap objects
+//	parconn_sys_bytes                total bytes obtained from the OS
+//	parconn_gc_pause_seconds_total   cumulative stop-the-world pause time
+//	parconn_gc_cycles_total          completed GC cycles
+//	parconn_alloc_bytes_total        cumulative bytes allocated on the heap
+//	parconn_gomaxprocs               effective GOMAXPROCS
+//
+// Memory and GC gauges share one cached MemStats read (refreshed at most
+// every 250ms) so one scrape stops the world at most once.
+func RegisterRuntime(r *Registry) {
+	cache := &memStatsCache{}
+	r.GaugeFunc("parconn_goroutines", "Current number of goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("parconn_gomaxprocs", "Effective GOMAXPROCS.", nil,
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("parconn_heap_inuse_bytes", "Bytes in in-use heap spans.", nil,
+		func() float64 { return float64(cache.get().HeapInuse) })
+	r.GaugeFunc("parconn_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	r.GaugeFunc("parconn_sys_bytes", "Total bytes of memory obtained from the OS.", nil,
+		func() float64 { return float64(cache.get().Sys) })
+	r.CounterFunc("parconn_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+	r.CounterFunc("parconn_gc_cycles_total", "Completed GC cycles.", nil,
+		func() float64 { return float64(cache.get().NumGC) })
+	r.CounterFunc("parconn_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", nil,
+		func() float64 { return float64(cache.get().TotalAlloc) })
+}

@@ -11,6 +11,8 @@
 //
 // Endpoints:
 //
+//	/metrics        Prometheus text exposition of the State's metrics
+//	                registry (runtime series plus whatever the command adds)
 //	/debug/parconn  JSON snapshot: progress, per-(level, phase) histograms,
 //	                frontier/round histograms, recent events (flight tail)
 //	/debug/vars     expvar counters (cumulative across runs, parconn_* keys)
@@ -31,15 +33,22 @@ import (
 	"time"
 
 	"parconn/internal/obs"
+	"parconn/internal/obs/metrics"
 )
 
 // State bundles the read-side sinks one process exposes: live progress,
-// histograms, the flight-recorder tail, and cumulative expvar counters.
-// One State serves any number of sequential or concurrent runs.
+// histograms, the flight-recorder tail, cumulative expvar counters, and the
+// Prometheus-text metrics registry served at /metrics. One State serves any
+// number of sequential or concurrent runs.
 type State struct {
 	Progress *obs.Progress
 	Hists    *obs.HistogramSet
 	Flight   *obs.FlightRecorder
+	// Metrics is the process metrics registry, pre-seeded with runtime
+	// series (goroutines, heap, GC) and exposed at /metrics on Handler's
+	// mux. Embedding commands register their own series in it (e.g.
+	// serve.NewObserver for the request plane).
+	Metrics *metrics.Registry
 
 	tool string
 	env  obs.Env
@@ -53,9 +62,11 @@ func NewState(tool string, flightCap int) *State {
 		Progress: obs.NewProgress(),
 		Hists:    obs.NewHistogramSet(),
 		Flight:   obs.NewFlightRecorder(flightCap),
+		Metrics:  metrics.New(),
 		tool:     tool,
 		env:      obs.CaptureEnv(),
 	}
+	metrics.RegisterRuntime(s.Metrics)
 	s.rec = obs.Multi(s.Progress, s.Hists, s.Flight, obs.NewExpvar(""))
 	return s
 }
@@ -118,9 +129,11 @@ func (s *State) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(data, '\n'))
 }
 
-// Handler returns the debug mux: /debug/parconn, /debug/vars, /debug/pprof.
+// Handler returns the debug mux: /metrics, /debug/parconn, /debug/vars,
+// /debug/pprof.
 func (s *State) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.Metrics.Handler())
 	mux.HandleFunc("/debug/parconn", s.serveSnapshot)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -134,7 +147,7 @@ func (s *State) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("parconn debug server\n\n/debug/parconn\n/debug/vars\n/debug/pprof/\n"))
+		w.Write([]byte("parconn debug server\n\n/metrics\n/debug/parconn\n/debug/vars\n/debug/pprof/\n"))
 	})
 	return mux
 }

@@ -1,0 +1,65 @@
+package obs
+
+import "time"
+
+// KindSpan is the JSONL kind tag of request spans. Spans are request-plane
+// events (one HTTP request through the serving stack), not run-plane events,
+// so they are not part of the Recorder interface: emitters call the
+// SpanRecorder extension directly on sinks that support it.
+const KindSpan = "span"
+
+// Span is one sampled request through the serving stack: which endpoint,
+// which trace ID the client did (or did not) send, how it ended, and how
+// long it took. Insert spans additionally carry the epoch the request
+// published, tying a mutation in the traffic stream to the incremental
+// snapshot the /v1 read endpoints serve afterwards.
+type Span struct {
+	TraceID  string        `json:"trace_id"`
+	Endpoint string        `json:"endpoint"`
+	Status   int           `json:"status"`
+	Duration time.Duration `json:"duration_ns"`
+	Batch    int           `json:"batch,omitempty"` // pairs/edges in the request body (batch, insert)
+	Epoch    uint64        `json:"epoch,omitempty"` // incremental epoch published (insert only)
+}
+
+// SpanRecorder is the sink extension for request spans. JSONLWriter and
+// FlightRecorder implement it; run-plane-only sinks do not need to. Like
+// Recorder sinks, implementations must serialize internally — spans arrive
+// from concurrent request goroutines.
+type SpanRecorder interface {
+	Span(Span)
+}
+
+// Span streams one request span record, headed like every other event.
+func (j *JSONLWriter) Span(e Span) { j.emit(KindSpan, e) }
+
+// Span retains one request span in the ring, so the debug snapshot's flight
+// tail interleaves recent traffic with recent engine events.
+func (f *FlightRecorder) Span(e Span) { f.add(KindSpan, e) }
+
+// MultiSpan fans spans out to every non-nil sink, mirroring Multi for the
+// request plane. It returns nil when all are nil and the single sink when
+// only one is non-nil.
+func MultiSpan(sinks ...SpanRecorder) SpanRecorder {
+	live := make(multiSpan, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiSpan []SpanRecorder
+
+func (m multiSpan) Span(e Span) {
+	for _, s := range m {
+		s.Span(e)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"parconn"
 	"parconn/internal/graph"
 	"parconn/internal/obs"
+	"parconn/internal/obs/metrics"
 )
 
 // DefaultMaxBatch bounds the number of pairs one /v1/batch request may
@@ -67,6 +68,15 @@ type Config struct {
 	MaxBatch int
 	// TopK is how many largest components /v1/stats reports (0 = 5).
 	TopK int
+	// Observer, when set, instruments every timed endpoint with request
+	// counters, error-taxonomy counters, rolling latency quantiles, trace
+	// IDs, and head-sampled spans (see NewObserver). Nil serves without
+	// request-plane observability, exactly as before.
+	Observer *Observer
+	// Metrics is the registry Observer's server-state series (cumulative
+	// latency histograms, readiness, published epoch) are registered in.
+	// Required when Observer is set; ignored otherwise.
+	Metrics *metrics.Registry
 }
 
 // Labeling is the immutable artifact a Server publishes: the answer array
@@ -102,6 +112,7 @@ type Server struct {
 	inc     atomic.Pointer[parconn.Incremental]
 	incBase atomic.Int64              // Labeling.Edges at EnableIncremental time
 	lat     map[string]*obs.Histogram // per-endpoint request latency, ns
+	obs     *Observer                 // nil = uninstrumented
 }
 
 // New returns a Server that is not yet ready: queries answer 503 until
@@ -113,7 +124,7 @@ func New(cfg Config) *Server {
 	if cfg.TopK <= 0 {
 		cfg.TopK = 5
 	}
-	return &Server{
+	s := &Server{
 		cfg: cfg,
 		lat: map[string]*obs.Histogram{
 			EndpointComponent: {},
@@ -122,7 +133,15 @@ func New(cfg Config) *Server {
 			EndpointInsert:    {},
 			EndpointStats:     {},
 		},
+		obs: cfg.Observer,
 	}
+	if s.obs != nil {
+		if cfg.Metrics == nil {
+			panic("serve: Config.Observer requires Config.Metrics")
+		}
+		s.obs.bind(s, cfg.Metrics)
+	}
+	return s
 }
 
 // newPublished precomputes the read-side state of one labeling.
@@ -214,9 +233,17 @@ func (s *Server) Handler() http.Handler {
 }
 
 // timed wraps a handler with latency recording. The histogram is wait-free,
-// so concurrent requests never serialize on it.
+// so concurrent requests never serialize on it. With an Observer attached,
+// the full request middleware (trace IDs, taxonomy counters, rolling
+// quantiles, sampled spans) runs instead; latency lands in the same
+// histogram either way.
 func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.lat[name]
+	if o := s.obs; o != nil {
+		return func(w http.ResponseWriter, r *http.Request) {
+			o.observe(name, hist, h, w, r)
+		}
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() //parconn:allow norand request-latency stopwatch; no algorithmic randomness
 		h(w, r)
@@ -357,6 +384,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d pairs exceeds limit %d", len(pairs), s.cfg.MaxBatch)
 		return
 	}
+	annotateBatch(r.Context(), len(pairs))
 	n := int64(len(p.lab.Labels))
 	same := make([]bool, len(pairs))
 	for i, pr := range pairs {
@@ -402,6 +430,7 @@ func (s *Server) serveInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d edges exceeds limit %d", len(pairs), s.cfg.MaxBatch)
 		return
 	}
+	annotateBatch(r.Context(), len(pairs))
 	n := int64(inc.Vertices())
 	edges := make([]parconn.Edge, len(pairs))
 	for i, pr := range pairs {
@@ -419,6 +448,7 @@ func (s *Server) serveInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := inc.Snapshot()
 	s.republish(snap)
+	annotateEpoch(r.Context(), snap.Epoch)
 	writeJSON(w, http.StatusOK, insertResponse{
 		Inserted:   len(edges),
 		Merged:     merged,

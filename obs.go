@@ -34,6 +34,16 @@ type (
 	Counter    = obs.Counter
 )
 
+// Span is one sampled request through the serving stack (request plane):
+// trace ID, endpoint, status, latency, batch size, and — for inserts — the
+// incremental epoch the request published. Spans ride the same JSONL
+// encoding as run-plane events under the "span" kind tag.
+type Span = obs.Span
+
+// SpanRecorder is the sink extension receiving request spans; JSONLRecorder
+// and FlightRecorder implement it.
+type SpanRecorder = obs.SpanRecorder
+
 // Trace is the in-memory Recorder: it stores every event in arrival order
 // and can re-emit them as JSONL. It subsumes PhaseTimes/LevelStat — see
 // PhaseTimesOf and LevelStatsOf.
